@@ -1,0 +1,31 @@
+//! # ofpc-apps — the Table-1 use cases
+//!
+//! Every row of the paper's Table 1, implemented end-to-end against the
+//! photonic engine (`ofpc-engine`), the transponder models
+//! (`ofpc-transponder`), and the WAN simulator (`ofpc-net`), each with
+//! the digital baseline it displaces:
+//!
+//! | Use case | Module | Primitives | Baseline |
+//! |---|---|---|---|
+//! | Machine-learning inference | [`ml`] | P1 (+P3) | cloud/edge digital DNN |
+//! | Video encoding | [`video`] | P1 | digital DCT encoder |
+//! | IP routing | [`iprouting`] | P2 | TCAM model |
+//! | Intrusion detection | [`intrusion`] | P2 | Aho–Corasick on servers |
+//! | Data encryption | [`encryption`] | P1/P2 phase ops | CPU stream cipher |
+//! | Load balancing | [`loadbalance`] | P2 comparator | ECMP hash / WCMP |
+//! | Massive MIMO baseband | [`mimo`] | P1 + P3 | digital matched filter |
+//!
+//! [`digital`] provides the calibrated digital compute and placement
+//! models (TPU/GPU/CPU/switch-ASIC energy and rate constants from the
+//! paper's §2.2, plus cloud/edge round-trip geometry) that every
+//! comparison in experiments E1/E4/E5 uses.
+
+pub mod digital;
+pub mod encryption;
+pub mod intrusion;
+pub mod iprouting;
+pub mod loadbalance;
+pub mod mimo;
+pub mod secure_match;
+pub mod ml;
+pub mod video;

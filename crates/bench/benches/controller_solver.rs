@@ -1,0 +1,66 @@
+//! Criterion bench: controller allocation solvers on a mid-size WAN —
+//! the §5 scalability story in wall-clock terms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofpc_controller::demand::{Demand, TaskDag};
+use ofpc_controller::greedy::solve_greedy;
+use ofpc_controller::ilp::solve_exact;
+use ofpc_controller::lp::{round_lp, solve_lp};
+use ofpc_controller::options::{enumerate_options, ProblemInstance};
+use ofpc_engine::Primitive;
+use ofpc_net::{NodeId, Topology};
+use ofpc_photonics::SimRng;
+use std::hint::black_box;
+
+fn build_instance(nodes: usize, demands: usize) -> ProblemInstance {
+    let mut rng = SimRng::seed_from_u64(42);
+    let topo = Topology::random_geometric(nodes, 2000.0, 700.0, &mut rng);
+    let slots: Vec<usize> = (0..nodes).map(|i| if i % 3 == 0 { 2 } else { 0 }).collect();
+    let prims = [
+        Primitive::VectorDotProduct,
+        Primitive::PatternMatching,
+        Primitive::NonlinearFunction,
+    ];
+    let demands: Vec<Demand> = (0..demands)
+        .map(|i| {
+            let src = NodeId(rng.below(nodes) as u32);
+            let mut dst = src;
+            while dst == src {
+                dst = NodeId(rng.below(nodes) as u32);
+            }
+            Demand::new(i as u32, src, dst, TaskDag::single(prims[rng.below(3)]))
+        })
+        .collect();
+    enumerate_options(&topo, &slots, &demands, 8)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let instance = build_instance(16, 12);
+    c.bench_function("solver_exact_16n_12d", |b| {
+        b.iter(|| black_box(solve_exact(black_box(&instance), 500_000)));
+    });
+    c.bench_function("solver_lp_rounding_16n_12d", |b| {
+        b.iter(|| {
+            let lp = solve_lp(black_box(&instance));
+            let mut rng = SimRng::seed_from_u64(1);
+            black_box(round_lp(&instance, &lp, 10, &mut rng))
+        });
+    });
+    c.bench_function("solver_greedy_16n_12d", |b| {
+        b.iter(|| black_box(solve_greedy(black_box(&instance))));
+    });
+    let big = build_instance(48, 40);
+    c.bench_function("solver_lp_rounding_48n_40d", |b| {
+        b.iter(|| {
+            let lp = solve_lp(black_box(&big));
+            let mut rng = SimRng::seed_from_u64(1);
+            black_box(round_lp(&big, &lp, 10, &mut rng))
+        });
+    });
+    c.bench_function("solver_greedy_48n_40d", |b| {
+        b.iter(|| black_box(solve_greedy(black_box(&big))));
+    });
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

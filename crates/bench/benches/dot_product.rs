@@ -1,0 +1,44 @@
+//! Criterion bench: P1 photonic dot product (simulator throughput).
+//!
+//! Measures how fast the *simulation* of the Fig.-2a pipeline runs per
+//! vector length — the number that bounds every higher-level experiment
+//! — alongside the modeled device latency for context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofpc_engine::dot::{DotProductUnit, DotUnitConfig};
+use ofpc_photonics::SimRng;
+use std::hint::black_box;
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_dot_product");
+    for &n in &[16usize, 64, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ideal", n), &n, |b, &n| {
+            let mut unit = DotProductUnit::ideal();
+            let a = vec![0.5; n];
+            let w = vec![0.25; n];
+            b.iter(|| black_box(unit.dot_nonneg(black_box(&a), black_box(&w))));
+        });
+        group.bench_with_input(BenchmarkId::new("realistic", n), &n, |b, &n| {
+            let mut rng = SimRng::seed_from_u64(1);
+            let mut unit = DotProductUnit::new(DotUnitConfig::realistic(), &mut rng);
+            unit.calibrate(256);
+            let a = vec![0.5; n];
+            let w = vec![0.25; n];
+            b.iter(|| black_box(unit.dot_nonneg(black_box(&a), black_box(&w))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_signed(c: &mut Criterion) {
+    c.bench_function("p1_dot_signed_64", |b| {
+        let mut unit = DotProductUnit::ideal();
+        let a: Vec<f64> = (0..64).map(|i| (i as f64 / 32.0) - 1.0).collect();
+        let w: Vec<f64> = (0..64).map(|i| 1.0 - (i as f64 / 32.0)).collect();
+        b.iter(|| black_box(unit.dot_signed(black_box(&a), black_box(&w))));
+    });
+}
+
+criterion_group!(benches, bench_dot, bench_signed);
+criterion_main!(benches);

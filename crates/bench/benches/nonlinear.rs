@@ -1,0 +1,42 @@
+//! Criterion bench: P3 nonlinear activation and photonic DNN inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofpc_engine::dnn::{Mlp, PhotonicDnn};
+use ofpc_engine::mvm::PhotonicMatVec;
+use ofpc_engine::nonlinear::NonlinearUnit;
+use ofpc_photonics::SimRng;
+use std::hint::black_box;
+
+fn bench_activation(c: &mut Criterion) {
+    c.bench_function("p3_activate", |b| {
+        let mut u = NonlinearUnit::ideal();
+        b.iter(|| black_box(u.activate(black_box(0.6))));
+    });
+    c.bench_function("p3_transfer_curve_33", |b| {
+        let mut u = NonlinearUnit::ideal();
+        b.iter(|| black_box(u.transfer_curve(33)));
+    });
+}
+
+fn bench_dnn(c: &mut Criterion) {
+    c.bench_function("photonic_dnn_64_16_4_inference", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mlp = Mlp::new_random(&[64, 16, 4], &mut rng);
+        let calib: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..64).map(|_| rng.uniform()).collect())
+            .collect();
+        let engine = PhotonicMatVec::ideal(4);
+        let mut pdnn = PhotonicDnn::new(&mlp, engine, NonlinearUnit::ideal(), &calib);
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 / 7.0).collect();
+        b.iter(|| black_box(pdnn.predict(black_box(&x))));
+    });
+    c.bench_function("digital_dnn_64_16_4_inference", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mlp = Mlp::new_random(&[64, 16, 4], &mut rng);
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 / 7.0).collect();
+        b.iter(|| black_box(mlp.predict_digital(black_box(&x))));
+    });
+}
+
+criterion_group!(benches, bench_activation, bench_dnn);
+criterion_main!(benches);

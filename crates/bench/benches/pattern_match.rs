@@ -1,0 +1,42 @@
+//! Criterion bench: P2 pattern matching and the sliding correlator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofpc_engine::correlator::{bytes_to_bits, Correlator};
+use ofpc_engine::matcher::PatternMatcher;
+use ofpc_engine::ternary::{parse_pattern, TernaryMatcher};
+use std::hint::black_box;
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_pattern_match");
+    for &n in &[32usize, 128, 512] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ideal", n), &n, |b, &n| {
+            let mut m = PatternMatcher::ideal();
+            let data: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let pattern: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            b.iter(|| black_box(m.match_block(black_box(&data), black_box(&pattern))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ternary(c: &mut Criterion) {
+    c.bench_function("p2_ternary_prefix_32", |b| {
+        let mut m = TernaryMatcher::ideal();
+        let pattern = parse_pattern(&("10".repeat(8) + &"*".repeat(16))).unwrap();
+        let data: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        b.iter(|| black_box(m.match_block(black_box(&data), black_box(&pattern))));
+    });
+}
+
+fn bench_correlator(c: &mut Criterion) {
+    c.bench_function("p2_correlator_scan_256B", |b| {
+        let sig = bytes_to_bits(b"EVIL");
+        let mut corr = Correlator::ideal(vec![sig], 0.0, 8);
+        let stream = bytes_to_bits(&vec![0xA5u8; 256]);
+        b.iter(|| black_box(corr.scan(black_box(&stream))));
+    });
+}
+
+criterion_group!(benches, bench_match, bench_ternary, bench_correlator);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: transponder TX/RX paths (Fig. 3) and the in-flight
+//! compute pipeline (Fig. 4) at the optical-field level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofpc_photonics::SimRng;
+use ofpc_transponder::commodity::CommodityTransponder;
+use ofpc_transponder::compute::{ComputeOp, PhotonicComputeTransponder};
+use ofpc_transponder::frame::Frame;
+use std::hint::black_box;
+
+fn bench_commodity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commodity_frame_roundtrip");
+    for &payload in &[64usize, 512, 1500] {
+        group.throughput(Throughput::Bytes(payload as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |b, &payload| {
+            let mut rng = SimRng::seed_from_u64(0);
+            let mut t = CommodityTransponder::ideal(&mut rng);
+            let frame = Frame::data(vec![0u8; payload]);
+            b.iter(|| {
+                let field = t.transmit_frame(black_box(&frame));
+                black_box(t.receive_frame(&field).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compute_path(c: &mut Criterion) {
+    c.bench_function("fig4_dot_product_64_in_flight", |b| {
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut tp = PhotonicComputeTransponder::ideal(&mut rng);
+        tp.load_op(ComputeOp::DotProduct {
+            weights: vec![0.5; 64],
+        });
+        let frame = Frame::compute(1, vec![0u8; 128]);
+        let operands = vec![0.5; 64];
+        b.iter(|| {
+            let field = tp.transmit_compute_frame(black_box(&frame), black_box(&operands));
+            black_box(tp.process(&field).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, bench_commodity, bench_compute_path);
+criterion_main!(benches);

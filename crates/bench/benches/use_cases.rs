@@ -1,0 +1,70 @@
+//! Criterion bench: one representative kernel per Table-1 use case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofpc_apps::intrusion::{AhoCorasick, PhotonicIds};
+use ofpc_apps::iprouting::{random_rules, PhotonicLpm, TcamModel};
+use ofpc_apps::mimo::{measure_ser, Detector};
+use ofpc_apps::video::{encode_frame, synthetic_frame, Transform};
+use ofpc_engine::mvm::PhotonicMatVec;
+use ofpc_net::Addr;
+use ofpc_photonics::SimRng;
+use std::hint::black_box;
+
+fn bench_video(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let frame = synthetic_frame(32, 16, 0, &mut rng);
+    c.bench_function("video_encode_32x16_digital", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&frame), 0.8, &mut Transform::Digital)));
+    });
+    c.bench_function("video_encode_32x16_photonic", |b| {
+        let mut engine = PhotonicMatVec::ideal(8);
+        b.iter(|| {
+            black_box(encode_frame(
+                black_box(&frame),
+                0.8,
+                &mut Transform::Photonic(&mut engine),
+            ))
+        });
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(2);
+    let rules = random_rules(64, &mut rng);
+    c.bench_function("iprouting_tcam_lookup_64rules", |b| {
+        let mut tcam = TcamModel::new(rules.clone());
+        let a: Addr = "10.1.2.3".parse().unwrap();
+        b.iter(|| black_box(tcam.lookup(black_box(a))));
+    });
+    c.bench_function("iprouting_photonic_lookup_64rules", |b| {
+        let mut plpm = PhotonicLpm::ideal(rules.clone());
+        let a: Addr = "10.1.2.3".parse().unwrap();
+        b.iter(|| black_box(plpm.lookup(black_box(a))));
+    });
+}
+
+fn bench_ids(c: &mut Criterion) {
+    let signatures = vec![b"ATTACK".to_vec(), b"EVIL".to_vec()];
+    let payload = vec![0xA5u8; 256];
+    c.bench_function("ids_aho_corasick_256B", |b| {
+        let mut ac = AhoCorasick::new(&signatures);
+        b.iter(|| black_box(ac.scan(black_box(&payload))));
+    });
+    c.bench_function("ids_photonic_256B", |b| {
+        let mut ids = PhotonicIds::ideal(&signatures);
+        b.iter(|| black_box(ids.scan(black_box(&payload))));
+    });
+}
+
+fn bench_mimo(c: &mut Criterion) {
+    c.bench_function("mimo_zf_8x4_10frames_digital", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(3);
+            let mut det = Detector::Digital;
+            black_box(measure_ser(8, 4, 15.0, 10, &mut det, &mut rng))
+        });
+    });
+}
+
+criterion_group!(benches, bench_video, bench_routing, bench_ids, bench_mimo);
+criterion_main!(benches);

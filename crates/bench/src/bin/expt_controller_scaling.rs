@@ -1,0 +1,155 @@
+//! E6 — §3/§5: controller allocation quality and the integer-program
+//! scalability wall.
+//!
+//! The paper: "The optimization formulation is fundamentally an integer
+//! problem because it needs to decide which photonic computing
+//! transponder to use." We sweep WAN size and demand count, solving each
+//! instance three ways — exact branch & bound, LP relaxation +
+//! randomized rounding, and greedy — and report satisfied demands,
+//! optimality gap (vs the LP upper bound), and solver work. The exact
+//! solver's search-node count should blow up with scale while LP/greedy
+//! stay flat: that is the §5 scalability discussion, measured.
+
+use ofpc_bench::table::{dump_json, Table};
+use ofpc_controller::demand::{Demand, TaskDag};
+use ofpc_controller::greedy::solve_greedy;
+use ofpc_controller::ilp::solve_exact;
+use ofpc_controller::lp::{round_lp, solve_lp};
+use ofpc_controller::options::enumerate_options;
+use ofpc_controller::{is_feasible, score};
+use ofpc_engine::Primitive;
+use ofpc_net::{NodeId, Topology};
+use ofpc_photonics::SimRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct E6Row {
+    nodes: usize,
+    demands: usize,
+    exact_satisfied: usize,
+    exact_nodes_expanded: u64,
+    exact_proven: bool,
+    exact_ms: f64,
+    lp_satisfied: usize,
+    lp_gap_pct: f64,
+    lp_ms: f64,
+    greedy_satisfied: usize,
+    greedy_gap_pct: f64,
+    greedy_ms: f64,
+}
+
+fn random_demands(topo: &Topology, n: usize, rng: &mut SimRng) -> Vec<Demand> {
+    let prims = [
+        Primitive::VectorDotProduct,
+        Primitive::PatternMatching,
+        Primitive::NonlinearFunction,
+    ];
+    (0..n)
+        .map(|i| {
+            let src = NodeId(rng.below(topo.node_count()) as u32);
+            let mut dst = src;
+            while dst == src {
+                dst = NodeId(rng.below(topo.node_count()) as u32);
+            }
+            // 70% single-task, 30% two-task chains.
+            let dag = if rng.chance(0.3) {
+                TaskDag::chain(vec![prims[rng.below(3)], prims[rng.below(3)]])
+            } else {
+                TaskDag::single(prims[rng.below(3)])
+            };
+            Demand::new(i as u32, src, dst, dag)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("E6: controller allocation — exact vs LP-rounding vs greedy\n");
+    let mut t = Table::new(
+        "solver scaling (capacity: 2 slots at 1/3 of sites)",
+        &[
+            "nodes", "demands", "exact sat", "b&b nodes", "proven", "exact ms", "lp sat",
+            "lp gap%", "greedy sat", "greedy gap%",
+        ],
+    );
+    let mut rows = Vec::new();
+    for &(n_nodes, n_demands) in &[
+        (8usize, 6usize),
+        (12, 10),
+        (16, 14),
+        (24, 20),
+        (32, 28),
+        (48, 40),
+    ] {
+        let mut rng = SimRng::seed_from_u64(6000 + n_nodes as u64);
+        let topo = Topology::random_geometric(n_nodes, 2000.0, 700.0, &mut rng);
+        // A third of sites upgraded, 2 slots each.
+        let slots: Vec<usize> = (0..n_nodes).map(|i| if i % 3 == 0 { 2 } else { 0 }).collect();
+        let demands = random_demands(&topo, n_demands, &mut rng);
+        let instance = enumerate_options(&topo, &slots, &demands, 8);
+
+        let start = Instant::now();
+        let exact = solve_exact(&instance, 2_000_000);
+        let exact_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(is_feasible(&instance, &exact.allocation));
+
+        let start = Instant::now();
+        let lp = solve_lp(&instance);
+        let mut lp_rng = SimRng::seed_from_u64(1);
+        let rounded = round_lp(&instance, &lp, 20, &mut lp_rng);
+        let lp_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(is_feasible(&instance, &rounded));
+
+        let start = Instant::now();
+        let greedy = solve_greedy(&instance);
+        let greedy_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let exact_score = score(&instance, &exact.allocation);
+        let lp_score = score(&instance, &rounded);
+        let greedy_score = greedy.score;
+        // Gaps vs the LP upper bound (valid even when B&B is truncated).
+        let ub = lp.upper_bound.max(exact_score);
+        let gap = |s: f64| 100.0 * (ub - s) / ub.max(1e-9);
+
+        let row = E6Row {
+            nodes: n_nodes,
+            demands: n_demands,
+            exact_satisfied: exact.allocation.satisfied_count(),
+            exact_nodes_expanded: exact.nodes_expanded,
+            exact_proven: exact.proven_optimal,
+            exact_ms,
+            lp_satisfied: rounded.satisfied_count(),
+            lp_gap_pct: gap(lp_score),
+            lp_ms,
+            greedy_satisfied: greedy.allocation.satisfied_count(),
+            greedy_gap_pct: gap(greedy_score),
+            greedy_ms,
+        };
+        t.row(&[
+            row.nodes.to_string(),
+            row.demands.to_string(),
+            row.exact_satisfied.to_string(),
+            row.exact_nodes_expanded.to_string(),
+            row.exact_proven.to_string(),
+            format!("{:.1}", row.exact_ms),
+            row.lp_satisfied.to_string(),
+            format!("{:.2}", row.lp_gap_pct),
+            row.greedy_satisfied.to_string(),
+            format!("{:.2}", row.greedy_gap_pct),
+        ]);
+        // Sanity: exact is never worse than the heuristics it bounds.
+        assert!(exact_score >= greedy_score - 1e-6);
+        rows.push(row);
+    }
+    t.print();
+
+    // The §5 wall: B&B work must grow sharply with instance size.
+    let first = rows.first().unwrap().exact_nodes_expanded;
+    let last = rows.last().unwrap().exact_nodes_expanded;
+    println!(
+        "branch-and-bound nodes grew {first} → {last} ({:.0}×) across the sweep",
+        last as f64 / first.max(1) as f64
+    );
+    assert!(last > 10 * first, "expected the integer-program wall");
+    dump_json("e6_controller_scaling", &rows);
+}

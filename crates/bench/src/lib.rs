@@ -1,0 +1,10 @@
+//! # ofpc-bench — experiment harnesses and Criterion benches
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index) plus
+//! Criterion benches over the hot paths. The library part holds shared
+//! harness plumbing: result tables, JSON dumps, and the parallel sweep
+//! driver.
+
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,195 @@
+//! Transponder inventory and status tracking.
+//!
+//! §3: the controller must "continuously track the status of all the
+//! photonic compute transponders".
+//! The inventory holds, per site, the installed transponder count, what
+//! each slot currently runs (primitive, op id, config version), and a
+//! last-heard heartbeat so stale devices age out of allocations.
+
+use ofpc_engine::Primitive;
+use ofpc_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Status of one transponder slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SlotStatus {
+    /// Powered and transit-only.
+    Idle,
+    /// Serving an operation.
+    Active {
+        primitive: Primitive,
+        op_id: u16,
+        version: u64,
+    },
+    /// Mid-reconfiguration.
+    Reconfiguring { version: u64 },
+}
+
+/// One transponder slot record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    pub status: SlotStatus,
+    /// Last heartbeat time, ps.
+    pub last_heard_ps: u64,
+}
+
+/// The controller's device inventory.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TransponderInventory {
+    slots: HashMap<NodeId, Vec<SlotRecord>>,
+    /// Heartbeat staleness threshold, ps.
+    pub stale_after_ps: u64,
+}
+
+impl TransponderInventory {
+    pub fn new(stale_after_ps: u64) -> Self {
+        TransponderInventory {
+            slots: HashMap::new(),
+            stale_after_ps,
+        }
+    }
+
+    /// Register `count` transponders at `node` (idle, heard now).
+    pub fn register(&mut self, node: NodeId, count: usize, now_ps: u64) {
+        let entry = self.slots.entry(node).or_default();
+        for _ in 0..count {
+            entry.push(SlotRecord {
+                status: SlotStatus::Idle,
+                last_heard_ps: now_ps,
+            });
+        }
+    }
+
+    /// Record a heartbeat with the slot's self-reported status.
+    pub fn heartbeat(&mut self, node: NodeId, slot: usize, status: SlotStatus, now_ps: u64) {
+        let records = self
+            .slots
+            .get_mut(&node)
+            .unwrap_or_else(|| panic!("heartbeat from unregistered node {node:?}"));
+        assert!(slot < records.len(), "heartbeat from unknown slot {slot}");
+        records[slot] = SlotRecord {
+            status,
+            last_heard_ps: now_ps,
+        };
+    }
+
+    /// Total registered slots at a node.
+    pub fn total_at(&self, node: NodeId) -> usize {
+        self.slots.get(&node).map_or(0, |v| v.len())
+    }
+
+    /// Slots usable for new allocations at `now_ps`: idle and fresh.
+    pub fn available_at(&self, node: NodeId, now_ps: u64) -> usize {
+        self.slots.get(&node).map_or(0, |v| {
+            v.iter()
+                .filter(|r| {
+                    matches!(r.status, SlotStatus::Idle)
+                        && now_ps.saturating_sub(r.last_heard_ps) <= self.stale_after_ps
+                })
+                .count()
+        })
+    }
+
+    /// The `node_slots` vector the option enumerator consumes (available
+    /// slots per node over `node_count` nodes).
+    pub fn availability_vector(&self, node_count: usize, now_ps: u64) -> Vec<usize> {
+        (0..node_count)
+            .map(|n| self.available_at(NodeId(n as u32), now_ps))
+            .collect()
+    }
+
+    /// Every active (primitive, op_id) across the WAN — what's currently
+    /// loaded where.
+    pub fn active_ops(&self) -> Vec<(NodeId, Primitive, u16)> {
+        let mut out = Vec::new();
+        for (&node, records) in &self.slots {
+            for r in records {
+                if let SlotStatus::Active {
+                    primitive, op_id, ..
+                } = r.status
+                {
+                    out.push((node, primitive, op_id));
+                }
+            }
+        }
+        out.sort_by_key(|&(n, p, o)| (n, p, o));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: Primitive = Primitive::VectorDotProduct;
+
+    #[test]
+    fn register_and_count() {
+        let mut inv = TransponderInventory::new(1_000_000);
+        inv.register(NodeId(1), 3, 0);
+        assert_eq!(inv.total_at(NodeId(1)), 3);
+        assert_eq!(inv.available_at(NodeId(1), 0), 3);
+        assert_eq!(inv.total_at(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn active_slots_are_not_available() {
+        let mut inv = TransponderInventory::new(1_000_000);
+        inv.register(NodeId(1), 2, 0);
+        inv.heartbeat(
+            NodeId(1),
+            0,
+            SlotStatus::Active {
+                primitive: P1,
+                op_id: 5,
+                version: 1,
+            },
+            10,
+        );
+        assert_eq!(inv.available_at(NodeId(1), 10), 1);
+        assert_eq!(inv.active_ops(), vec![(NodeId(1), P1, 5)]);
+    }
+
+    #[test]
+    fn stale_slots_age_out() {
+        let mut inv = TransponderInventory::new(100);
+        inv.register(NodeId(0), 1, 0);
+        assert_eq!(inv.available_at(NodeId(0), 100), 1);
+        assert_eq!(inv.available_at(NodeId(0), 101), 0);
+        // A heartbeat refreshes it.
+        inv.heartbeat(NodeId(0), 0, SlotStatus::Idle, 150);
+        assert_eq!(inv.available_at(NodeId(0), 200), 1);
+    }
+
+    #[test]
+    fn availability_vector_layout() {
+        let mut inv = TransponderInventory::new(1_000);
+        inv.register(NodeId(1), 2, 0);
+        inv.register(NodeId(3), 1, 0);
+        assert_eq!(inv.availability_vector(4, 0), vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn heartbeat_from_unknown_node_panics() {
+        let mut inv = TransponderInventory::new(1_000);
+        inv.heartbeat(NodeId(9), 0, SlotStatus::Idle, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown slot")]
+    fn heartbeat_from_unknown_slot_panics() {
+        let mut inv = TransponderInventory::new(1_000);
+        inv.register(NodeId(0), 1, 0);
+        inv.heartbeat(NodeId(0), 5, SlotStatus::Idle, 0);
+    }
+
+    #[test]
+    fn reconfiguring_slots_are_unavailable() {
+        let mut inv = TransponderInventory::new(1_000);
+        inv.register(NodeId(0), 1, 0);
+        inv.heartbeat(NodeId(0), 0, SlotStatus::Reconfiguring { version: 2 }, 5);
+        assert_eq!(inv.available_at(NodeId(0), 5), 0);
+    }
+}

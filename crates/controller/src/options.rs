@@ -1,0 +1,298 @@
+//! Candidate enumeration: from demands to integer-program options.
+//!
+//! Each demand's DAG is linearized to a task chain `t₁ … tₖ`; a candidate
+//! allocation *option* assigns every task to a compute-capable site, and
+//! the packet path is the concatenation of delay-shortest legs
+//! `src → v₁ → … → vₖ → dst`. Option cost combines the *added latency*
+//! of that detour over the direct path with the number of transponder
+//! slots consumed — the paper's twin objectives (satisfy demands, spend
+//! few transponders).
+
+use crate::demand::Demand;
+use ofpc_net::routing::shortest_paths;
+use ofpc_net::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One candidate way to serve a demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocOption {
+    /// Task-to-node assignment, in chain order.
+    pub placement: Vec<NodeId>,
+    /// Scalar cost (milliseconds of added latency + slot penalty).
+    pub cost: f64,
+    /// Added latency of the detour vs the direct path, ps.
+    pub added_latency_ps: u64,
+}
+
+/// A fully-enumerated allocation problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProblemInstance {
+    /// Transponder slots available at each node (indexed by NodeId).
+    pub node_slots: Vec<usize>,
+    /// Options per demand (same order as the demand list passed in).
+    pub options: Vec<Vec<AllocOption>>,
+}
+
+impl ProblemInstance {
+    pub fn demand_count(&self) -> usize {
+        self.options.len()
+    }
+
+    pub fn total_options(&self) -> usize {
+        self.options.iter().map(|o| o.len()).sum()
+    }
+}
+
+/// Weight of one consumed slot in the cost term, expressed in
+/// milliseconds of equivalent latency (cost units).
+pub const SLOT_COST_MS: f64 = 0.5;
+
+/// All-pairs shortest path distances, ps. `None` = unreachable.
+fn all_pairs(topo: &Topology) -> Vec<Vec<Option<u64>>> {
+    (0..topo.node_count())
+        .map(|i| {
+            let paths = shortest_paths(topo, NodeId(i as u32));
+            (0..topo.node_count())
+                .map(|j| paths.get(&NodeId(j as u32)).map(|&(d, _)| d))
+                .collect()
+        })
+        .collect()
+}
+
+/// Enumerate options for `demands` over `topo`, where `node_slots[n]` is
+/// the number of compute transponders at node `n`. Options per demand
+/// are capped at `max_options_per_demand`, keeping the cheapest.
+///
+/// Demands whose DAG is cyclic, or whose endpoints are disconnected, get
+/// an empty option list (they can never be satisfied).
+pub fn enumerate_options(
+    topo: &Topology,
+    node_slots: &[usize],
+    demands: &[Demand],
+    max_options_per_demand: usize,
+) -> ProblemInstance {
+    assert_eq!(
+        node_slots.len(),
+        topo.node_count(),
+        "node_slots must cover every node"
+    );
+    assert!(max_options_per_demand >= 1, "need at least one option slot");
+    let dist = all_pairs(topo);
+    let compute_sites: Vec<NodeId> = (0..node_slots.len())
+        .filter(|&n| node_slots[n] > 0)
+        .map(|n| NodeId(n as u32))
+        .collect();
+    let mut options = Vec::with_capacity(demands.len());
+    for demand in demands {
+        options.push(options_for_demand(
+            demand,
+            &dist,
+            &compute_sites,
+            max_options_per_demand,
+        ));
+    }
+    ProblemInstance {
+        node_slots: node_slots.to_vec(),
+        options,
+    }
+}
+
+fn options_for_demand(
+    demand: &Demand,
+    dist: &[Vec<Option<u64>>],
+    compute_sites: &[NodeId],
+    cap: usize,
+) -> Vec<AllocOption> {
+    let Some(chain) = demand.dag.linearize() else {
+        return Vec::new(); // cyclic DAG
+    };
+    let k = chain.len();
+    let s = demand.src.0 as usize;
+    let t = demand.dst.0 as usize;
+    let Some(direct) = dist[s][t] else {
+        return Vec::new(); // disconnected endpoints
+    };
+    if k == 0 {
+        // Nothing to place: the direct path serves it at zero cost.
+        return vec![AllocOption {
+            placement: vec![],
+            cost: 0.0,
+            added_latency_ps: 0,
+        }];
+    }
+    // Enumerate placement tuples over compute sites (k-fold product),
+    // depth-first, pruning unreachable legs.
+    let mut out: Vec<AllocOption> = Vec::new();
+    let mut stack: Vec<(Vec<NodeId>, u64)> = vec![(Vec::new(), 0)];
+    while let Some((placement, latency_so_far)) = stack.pop() {
+        let from = placement.last().map(|n| n.0 as usize).unwrap_or(s);
+        if placement.len() == k {
+            let Some(tail) = dist[from][t] else { continue };
+            let total = latency_so_far + tail;
+            let added = total.saturating_sub(direct);
+            out.push(AllocOption {
+                placement,
+                cost: added as f64 / 1e9 + k as f64 * SLOT_COST_MS,
+                added_latency_ps: added,
+            });
+            continue;
+        }
+        for &site in compute_sites {
+            let Some(leg) = dist[from][site.0 as usize] else {
+                continue;
+            };
+            let mut next = placement.clone();
+            next.push(site);
+            stack.push((next, latency_so_far + leg));
+        }
+    }
+    out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    out.truncate(cap);
+    out
+}
+
+/// Aggregate slot demand of an option (per node), used by solvers.
+pub fn slots_used(option: &AllocOption) -> HashMap<NodeId, usize> {
+    let mut used = HashMap::new();
+    for &node in &option.placement {
+        *used.entry(node).or_insert(0) += 1;
+    }
+    used
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::TaskDag;
+    use ofpc_engine::Primitive;
+
+    fn fig1() -> (Topology, Vec<usize>) {
+        let topo = Topology::fig1();
+        // B and C each have 2 transponders.
+        (topo, vec![0, 2, 2, 0])
+    }
+
+    fn p1_demand(id: u32, src: u32, dst: u32) -> Demand {
+        Demand::new(
+            id,
+            NodeId(src),
+            NodeId(dst),
+            TaskDag::single(Primitive::VectorDotProduct),
+        )
+    }
+
+    #[test]
+    fn single_task_options_cover_both_sites() {
+        let (topo, slots) = fig1();
+        let demands = vec![p1_demand(0, 0, 3)]; // A → D
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        assert_eq!(inst.options[0].len(), 2);
+        let sites: Vec<u32> = inst.options[0]
+            .iter()
+            .map(|o| o.placement[0].0)
+            .collect();
+        assert!(sites.contains(&1) && sites.contains(&2));
+        // Both B and C lie on equal-length A→D paths: essentially zero
+        // added latency (±1 ps of per-leg integer rounding).
+        for o in &inst.options[0] {
+            assert!(o.added_latency_ps <= 2, "added {}", o.added_latency_ps);
+        }
+    }
+
+    #[test]
+    fn off_path_detour_has_positive_added_latency() {
+        let (topo, slots) = fig1();
+        // A → B directly is 800 km; going via C first adds real fiber.
+        let demands = vec![p1_demand(0, 0, 1)];
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        let via_b = inst.options[0]
+            .iter()
+            .find(|o| o.placement[0] == NodeId(1))
+            .unwrap();
+        let via_c = inst.options[0]
+            .iter()
+            .find(|o| o.placement[0] == NodeId(2))
+            .unwrap();
+        assert_eq!(via_b.added_latency_ps, 0);
+        assert!(via_c.added_latency_ps > 0);
+        assert!(via_c.cost > via_b.cost);
+    }
+
+    #[test]
+    fn chain_demand_enumerates_tuples() {
+        let (topo, slots) = fig1();
+        let dag = TaskDag::chain(vec![
+            Primitive::VectorDotProduct,
+            Primitive::NonlinearFunction,
+        ]);
+        let demands = vec![Demand::new(0, NodeId(0), NodeId(3), dag)];
+        let inst = enumerate_options(&topo, &slots, &demands, 100);
+        // 2 sites × 2 sites = 4 tuples.
+        assert_eq!(inst.options[0].len(), 4);
+        // Every option consumes 2 slots worth of cost.
+        for o in &inst.options[0] {
+            assert_eq!(o.placement.len(), 2);
+            assert!(o.cost >= 2.0 * SLOT_COST_MS);
+        }
+    }
+
+    #[test]
+    fn option_cap_keeps_cheapest() {
+        let (topo, slots) = fig1();
+        let dag = TaskDag::chain(vec![
+            Primitive::VectorDotProduct,
+            Primitive::NonlinearFunction,
+        ]);
+        let demands = vec![Demand::new(0, NodeId(0), NodeId(3), dag)];
+        let all = enumerate_options(&topo, &slots, &demands, 100);
+        let capped = enumerate_options(&topo, &slots, &demands, 2);
+        assert_eq!(capped.options[0].len(), 2);
+        let min_cost = all.options[0]
+            .iter()
+            .map(|o| o.cost)
+            .fold(f64::MAX, f64::min);
+        assert_eq!(capped.options[0][0].cost, min_cost);
+    }
+
+    #[test]
+    fn no_compute_sites_means_no_options() {
+        let topo = Topology::fig1();
+        let demands = vec![p1_demand(0, 0, 3)];
+        let inst = enumerate_options(&topo, &[0, 0, 0, 0], &demands, 10);
+        assert!(inst.options[0].is_empty());
+    }
+
+    #[test]
+    fn empty_dag_gets_free_option() {
+        let (topo, slots) = fig1();
+        let demands = vec![Demand::new(0, NodeId(0), NodeId(3), TaskDag::chain(vec![]))];
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        assert_eq!(inst.options[0].len(), 1);
+        assert_eq!(inst.options[0][0].cost, 0.0);
+    }
+
+    #[test]
+    fn disconnected_demand_has_no_options() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let _c = topo.add_node("c");
+        topo.add_link(a, b, 10.0);
+        let demands = vec![p1_demand(0, 0, 2)]; // c is isolated
+        let inst = enumerate_options(&topo, &[1, 1, 1], &demands, 10);
+        assert!(inst.options[0].is_empty());
+    }
+
+    #[test]
+    fn slots_used_counts_repeats() {
+        let opt = AllocOption {
+            placement: vec![NodeId(1), NodeId(1), NodeId(2)],
+            cost: 0.0,
+            added_latency_ps: 0,
+        };
+        let used = slots_used(&opt);
+        assert_eq!(used[&NodeId(1)], 2);
+        assert_eq!(used[&NodeId(2)], 1);
+    }
+}

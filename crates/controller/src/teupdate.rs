@@ -1,0 +1,236 @@
+//! From allocation to route updates.
+//!
+//! §3: the controller "serves as the vantage point from which to collect
+//! and combine the information from both IP routing and photonic compute
+//! routing, subsequently delivering next-hop updates to all routers."
+//! This module turns a solved [`Allocation`] into (a) per-site engine
+//! installations and (b) the dual-field routing overrides that steer each
+//! demand's compute packets through its assigned transponder chain, then
+//! applies them to a [`Network`].
+
+use crate::demand::Demand;
+use crate::options::ProblemInstance;
+use crate::Allocation;
+use ofpc_engine::Primitive;
+use ofpc_net::routing::shortest_paths;
+use ofpc_net::sim::{Network, OpSpec};
+use ofpc_net::{NodeId, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// One engine installation command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstallCmd {
+    pub node: NodeId,
+    pub primitive: Primitive,
+    pub op_id: u16,
+}
+
+/// One routing override command: at `router`, compute packets matching
+/// (`dst_prefix`, `primitive`) take the first hop toward `via`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteOverrideCmd {
+    pub router: NodeId,
+    pub dst_prefix: Prefix,
+    pub primitive: Primitive,
+    pub via: NodeId,
+}
+
+/// The full update set produced from one allocation round.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpdatePlan {
+    pub installs: Vec<InstallCmd>,
+    pub overrides: Vec<RouteOverrideCmd>,
+    /// Demands that could not be satisfied this round.
+    pub unsatisfied: Vec<u32>,
+}
+
+/// Build the update plan for `demands` under `allocation`.
+///
+/// Op IDs are the demand IDs (one installed operation instance per
+/// satisfied demand — the natural granularity, since each demand's
+/// weights/pattern differ). For multi-task chains, only the first task's
+/// placement gets routing overrides toward it; subsequent tasks are
+/// reached because the packet *continues* from the previous site (the
+/// sim re-evaluates pending primitives hop by hop).
+pub fn build_plan(
+    demands: &[Demand],
+    instance: &ProblemInstance,
+    allocation: &Allocation,
+) -> UpdatePlan {
+    assert_eq!(demands.len(), allocation.choices.len(), "shape mismatch");
+    let mut plan = UpdatePlan::default();
+    for (d, choice) in allocation.choices.iter().enumerate() {
+        let demand = &demands[d];
+        let Some(o) = choice else {
+            plan.unsatisfied.push(demand.id.0);
+            continue;
+        };
+        let option = &instance.options[d][*o];
+        let chain = demand
+            .dag
+            .linearize()
+            .expect("satisfied demand must have an acyclic DAG");
+        assert_eq!(chain.len(), option.placement.len(), "placement shape");
+        for (task, (&primitive, &node)) in chain.iter().zip(&option.placement).enumerate() {
+            plan.installs.push(InstallCmd {
+                node,
+                primitive,
+                op_id: demand.id.0 as u16,
+            });
+            // Route overrides steer toward the task's site from
+            // everywhere (scoped to the demand's destination prefix).
+            let _ = task;
+            plan.overrides.push(RouteOverrideCmd {
+                router: node, // marker: resolved per-router in apply()
+                dst_prefix: Network::node_prefix(demand.dst),
+                primitive,
+                via: node,
+            });
+        }
+    }
+    plan
+}
+
+/// Apply an update plan to a simulated network: install engine slots and
+/// per-router dual-field overrides. `op_specs` supplies the semantics
+/// for each installed op id (weights/pattern).
+pub fn apply_plan(
+    net: &mut Network,
+    plan: &UpdatePlan,
+    op_specs: &dyn Fn(u16, Primitive) -> OpSpec,
+    noise_sigma: f64,
+) {
+    for install in &plan.installs {
+        let spec = op_specs(install.op_id, install.primitive);
+        assert_eq!(
+            spec.primitive(),
+            install.primitive,
+            "op spec primitive mismatch for op {}",
+            install.op_id
+        );
+        net.add_engine(install.node, install.op_id, spec, noise_sigma);
+    }
+    // Install overrides: at every router, pending packets for
+    // (dst_prefix, primitive) head toward `via` along shortest paths.
+    for ov in &plan.overrides {
+        let node_count = net.topo.node_count();
+        for r in 0..node_count {
+            let router = NodeId(r as u32);
+            if router == ov.via {
+                continue;
+            }
+            let paths = shortest_paths(&net.topo, router);
+            let Some(&(_, Some(first_link))) = paths.get(&ov.via) else {
+                continue;
+            };
+            net.routing_table_mut(router).install_compute_override(
+                ov.dst_prefix,
+                ov.primitive,
+                first_link,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::TaskDag;
+    use crate::ilp::solve_exact;
+    use crate::options::enumerate_options;
+    use ofpc_net::packet::Packet;
+    use ofpc_net::pch::PchHeader;
+    use ofpc_net::Topology;
+    use ofpc_photonics::SimRng;
+
+    const P1: Primitive = Primitive::VectorDotProduct;
+
+    #[test]
+    fn plan_contains_installs_and_overrides() {
+        let topo = Topology::fig1();
+        let slots = vec![0, 1, 1, 0];
+        let demands = vec![Demand::new(
+            0,
+            NodeId(0),
+            NodeId(3),
+            TaskDag::single(P1),
+        )];
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        let sol = solve_exact(&inst, 1_000_000);
+        let plan = build_plan(&demands, &inst, &sol.allocation);
+        assert_eq!(plan.installs.len(), 1);
+        assert_eq!(plan.overrides.len(), 1);
+        assert!(plan.unsatisfied.is_empty());
+        assert_eq!(plan.installs[0].op_id, 0);
+    }
+
+    #[test]
+    fn unsatisfied_demands_are_reported() {
+        let topo = Topology::fig1();
+        let slots = vec![0, 1, 0, 0]; // one slot only
+        let demands = vec![
+            Demand::new(0, NodeId(0), NodeId(3), TaskDag::single(P1)),
+            Demand::new(1, NodeId(0), NodeId(3), TaskDag::single(P1)),
+        ];
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        let sol = solve_exact(&inst, 1_000_000);
+        let plan = build_plan(&demands, &inst, &sol.allocation);
+        assert_eq!(plan.installs.len(), 1);
+        assert_eq!(plan.unsatisfied.len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_controller_drives_the_sim() {
+        // Full loop: enumerate → solve → plan → apply → traffic computes.
+        let topo = Topology::fig1();
+        let slots = vec![0, 1, 1, 0];
+        let demands = vec![Demand::new(
+            7,
+            NodeId(0),
+            NodeId(3),
+            TaskDag::single(P1),
+        )];
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        let sol = solve_exact(&inst, 1_000_000);
+        let plan = build_plan(&demands, &inst, &sol.allocation);
+
+        let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
+        net.install_shortest_path_routes();
+        apply_plan(
+            &mut net,
+            &plan,
+            &|_op, _prim| OpSpec::Dot {
+                weights: vec![0.5; 4],
+            },
+            0.0,
+        );
+        let pch = PchHeader::request(P1, 7, 4);
+        let p = Packet::compute(
+            Network::node_addr(NodeId(0), 1),
+            Network::node_addr(NodeId(3), 1),
+            1,
+            pch,
+            Packet::encode_operands(&[1.0; 4]),
+        );
+        net.inject(0, NodeId(0), p);
+        net.run_to_idle();
+        assert_eq!(net.stats.delivered_count(), 1);
+        assert!(net.stats.delivered[0].computed, "packet was never computed");
+    }
+
+    #[test]
+    #[should_panic(expected = "primitive mismatch")]
+    fn apply_rejects_wrong_spec() {
+        let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
+        let plan = UpdatePlan {
+            installs: vec![InstallCmd {
+                node: NodeId(1),
+                primitive: P1,
+                op_id: 0,
+            }],
+            overrides: vec![],
+            unsatisfied: vec![],
+        };
+        apply_plan(&mut net, &plan, &|_, _| OpSpec::Nonlinear, 0.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! P1 — photonic vector dot product (Fig. 2a).
+//!
+//! The time-multiplexed architecture of Feldmann/Sludds-style photonic
+//! MACs: element `i` of each vector occupies one symbol slot. A DAC turns
+//! the digital value into a drive voltage, the first MZM encodes `aᵢ` as
+//! optical transmission, the second MZM (driven by `bᵢ`) multiplies, and
+//! the photodetector's integrated charge over the block is `Σ aᵢ·bᵢ` up to
+//! a calibration constant. One ADC read converts the integrated result
+//! back to digital.
+//!
+//! Values are physically non-negative (intensity encoding); signed
+//! arithmetic decomposes into four non-negative passes
+//! (`a⁺b⁺ + a⁻b⁻ − a⁺b⁻ − a⁻b⁺`), exactly as time-multiplexed photonic
+//! accelerators do it.
+//!
+//! The unit supports an **on-fiber mode** (the paper's key delta over
+//! Lightning-style accelerators): when the `a` operand is already optical
+//! — it arrived on the fiber — the unit skips the per-element DAC for `a`,
+//! which is where the §2.2 "no constant conversions" energy saving comes
+//! from. Experiment E3 measures it via the [`EnergyLedger`].
+
+use crate::calibration::DotCalibration;
+use ofpc_photonics::converter::{Adc, ConverterConfig, Dac};
+use ofpc_photonics::energy::EnergyLedger;
+use ofpc_photonics::laser::{Laser, LaserConfig};
+use ofpc_photonics::modulator::{MachZehnderModulator, MzmConfig};
+use ofpc_photonics::photodetector::{Photodetector, PhotodetectorConfig};
+use ofpc_photonics::signal::AnalogWaveform;
+use ofpc_photonics::SimRng;
+
+/// Where the `a` operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OperandSource {
+    /// `a` is digital and must be DAC-converted (conventional photonic
+    /// accelerator, e.g. Lightning).
+    Digital,
+    /// `a` is already optical — it arrived on the fiber through the
+    /// transponder's receive path, so no DAC conversion is charged
+    /// (on-fiber photonic computing).
+    OnFiber,
+}
+
+/// Configuration of a P1 dot-product unit.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DotUnitConfig {
+    pub laser: LaserConfig,
+    pub mzm_a: MzmConfig,
+    pub mzm_b: MzmConfig,
+    pub pd: PhotodetectorConfig,
+    /// DAC used per vector element (weights always; data unless on-fiber).
+    pub dac: ConverterConfig,
+    /// ADC used once per dot-product readout.
+    pub adc: ConverterConfig,
+    /// Symbol rate: vector elements per second through the unit.
+    pub sample_rate_hz: f64,
+    /// Source of the `a` operand (see [`OperandSource`]).
+    pub source: OperandSource,
+}
+
+impl DotUnitConfig {
+    /// Ideal devices everywhere — algebra validation.
+    pub fn ideal() -> Self {
+        DotUnitConfig {
+            laser: LaserConfig {
+                rin_db_hz: f64::NEG_INFINITY,
+                linewidth_hz: 0.0,
+                wall_plug_w: 0.0,
+                ..LaserConfig::default()
+            },
+            mzm_a: MzmConfig::ideal(),
+            mzm_b: MzmConfig::ideal(),
+            pd: PhotodetectorConfig::ideal(),
+            dac: ConverterConfig::ideal(12),
+            adc: ConverterConfig::ideal(12),
+            sample_rate_hz: 32e9,
+            source: OperandSource::OnFiber,
+        }
+    }
+
+    /// Realistic defaults: lossy modulators, noisy receiver, 8-bit
+    /// converters at transponder symbol rate.
+    pub fn realistic() -> Self {
+        DotUnitConfig {
+            laser: LaserConfig::default(),
+            mzm_a: MzmConfig::default(),
+            mzm_b: MzmConfig::default(),
+            pd: PhotodetectorConfig::default(),
+            dac: ConverterConfig::default(),
+            adc: ConverterConfig {
+                energy_per_sample_j: ofpc_photonics::energy::constants::ADC_SAMPLE_J,
+                ..ConverterConfig::default()
+            },
+            sample_rate_hz: 32e9,
+            source: OperandSource::OnFiber,
+        }
+    }
+}
+
+/// A P1 photonic dot-product unit.
+#[derive(Debug, Clone)]
+pub struct DotProductUnit {
+    pub config: DotUnitConfig,
+    laser: Laser,
+    mzm_a: MachZehnderModulator,
+    mzm_b: MachZehnderModulator,
+    pd: Photodetector,
+    dac: Dac,
+    adc: Adc,
+    calibration: Option<DotCalibration>,
+    /// Total scalar multiply-accumulates performed.
+    pub macs_performed: u64,
+    /// Dot products (readouts) performed.
+    pub readouts: u64,
+}
+
+impl DotProductUnit {
+    pub fn new(config: DotUnitConfig, rng: &mut SimRng) -> Self {
+        DotProductUnit {
+            laser: Laser::new(config.laser.clone(), rng.derive("p1-laser")),
+            mzm_a: MachZehnderModulator::new(config.mzm_a.clone()),
+            mzm_b: MachZehnderModulator::new(config.mzm_b.clone()),
+            pd: Photodetector::new(config.pd.clone(), rng.derive("p1-pd")),
+            dac: Dac::new(config.dac.clone(), rng.derive("p1-dac")),
+            adc: Adc::new(config.adc.clone(), rng.derive("p1-adc")),
+            config,
+            calibration: None,
+            macs_performed: 0,
+            readouts: 0,
+        }
+    }
+
+    /// Convenience: ideal unit with a fixed seed.
+    pub fn ideal() -> Self {
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut unit = DotProductUnit::new(DotUnitConfig::ideal(), &mut rng);
+        unit.calibrate(64);
+        unit
+    }
+
+    /// Whether the unit has been calibrated.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibration.is_some()
+    }
+
+    /// Run the calibration procedure: measure the photocurrent for a
+    /// unit-product vector (all ones) and for a dark vector, storing the
+    /// gain and offset that map integrated charge back to value. This is
+    /// the §4 "algorithm to mitigate photonic noise" in its simplest
+    /// load-bearing form — without it, device insertion losses bias every
+    /// result (experiment E10 ablates it).
+    pub fn calibrate(&mut self, n: usize) {
+        assert!(n > 0, "calibration needs at least one symbol");
+        let ones = self.raw_pass(&vec![1.0; n], &vec![1.0; n]);
+        let zeros = self.raw_pass(&vec![0.0; n], &vec![0.0; n]);
+        let unit = ones / n as f64;
+        let dark = zeros / n as f64;
+        self.calibration = Some(DotCalibration {
+            unit_current_a: unit - dark,
+            dark_current_a: dark,
+        });
+        // Calibration traffic shouldn't count as useful MACs.
+        self.macs_performed = self.macs_performed.saturating_sub(2 * n as u64);
+        self.readouts = self.readouts.saturating_sub(2);
+    }
+
+    /// Inject an explicit calibration (e.g. a stale or wrong one, for the
+    /// ablation experiments).
+    pub fn set_calibration(&mut self, cal: DotCalibration) {
+        self.calibration = Some(cal);
+    }
+
+    pub fn calibration(&self) -> Option<&DotCalibration> {
+        self.calibration.as_ref()
+    }
+
+    /// One physical pass: quantize, modulate, detect, integrate.
+    /// Returns the *summed photocurrent* over the block (amps·samples).
+    fn raw_pass(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot-product operands must match in length");
+        assert!(!a.is_empty(), "dot product of empty vectors");
+        let n = a.len();
+        // Quantize operands through the DAC code space. In on-fiber mode
+        // the `a` operand is already analog/optical: it skips quantization
+        // and DAC energy (the paper's conversion-saving claim).
+        let a_vals: Vec<f64> = match self.config.source {
+            OperandSource::Digital => a
+                .iter()
+                .map(|&x| {
+                    let code = self.dac.encode_unit(x);
+                    self.adc.decode_unit(code) // code → value grid
+                })
+                .collect(),
+            OperandSource::OnFiber => a.to_vec(),
+        };
+        if self.config.source == OperandSource::Digital {
+            // Account DAC energy for the data operand.
+            let codes: Vec<u64> = a.iter().map(|&x| self.dac.encode_unit(x)).collect();
+            let _ = self.dac.convert(&codes, self.config.sample_rate_hz);
+        }
+        // Weights are always digital → always DAC-converted.
+        let b_codes: Vec<u64> = b.iter().map(|&x| self.dac.encode_unit(x)).collect();
+        let _ = self.dac.convert(&b_codes, self.config.sample_rate_hz);
+        let b_vals: Vec<f64> = b_codes.iter().map(|&c| self.adc.decode_unit(c)).collect();
+
+        let light = self.laser.emit(n, self.config.sample_rate_hz);
+        // Each value is encoded as the MZM's *power* transmission, so the
+        // cascade of the two modulators' power transmissions is aᵢ·bᵢ.
+        let drive_a = AnalogWaveform::new(
+            a_vals
+                .iter()
+                .map(|&v| self.mzm_a.drive_for_transmission(v.clamp(0.0, 1.0)))
+                .collect(),
+            self.config.sample_rate_hz,
+        );
+        let drive_b = AnalogWaveform::new(
+            b_vals
+                .iter()
+                .map(|&v| self.mzm_b.drive_for_transmission(v.clamp(0.0, 1.0)))
+                .collect(),
+            self.config.sample_rate_hz,
+        );
+        let stage1 = self.mzm_a.modulate(&light, &drive_a);
+        let stage2 = self.mzm_b.modulate(&stage1, &drive_b);
+        let current = self.pd.detect(&stage2);
+        self.macs_performed += n as u64;
+        self.readouts += 1;
+        current.samples.iter().sum()
+    }
+
+    /// Dot product of non-negative vectors with elements in `[0, 1]`.
+    /// Requires prior calibration.
+    pub fn dot_nonneg(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let cal = *self
+            .calibration
+            .as_ref()
+            .expect("DotProductUnit must be calibrated before use; call calibrate()");
+        let charge = self.raw_pass(a, b);
+        let raw = (charge - n as f64 * cal.dark_current_a) / cal.unit_current_a;
+        // Single ADC readout of the normalized integrator output.
+        let normalized = (raw / n as f64).clamp(0.0, 1.0);
+        let wave = AnalogWaveform::new(
+            vec![normalized * self.adc.config.full_scale_v],
+            self.config.sample_rate_hz,
+        );
+        let code = self.adc.convert(&wave)[0];
+        self.adc.decode_unit(code) * n as f64
+    }
+
+    /// Signed dot product with elements in `[-1, 1]`, via the standard
+    /// four-pass positive/negative decomposition.
+    pub fn dot_signed(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot-product operands must match in length");
+        let pos = |v: &[f64]| -> Vec<f64> { v.iter().map(|&x| x.clamp(0.0, 1.0)).collect() };
+        let neg = |v: &[f64]| -> Vec<f64> { v.iter().map(|&x| (-x).clamp(0.0, 1.0)).collect() };
+        let (ap, an) = (pos(a), neg(a));
+        let (bp, bn) = (pos(b), neg(b));
+        self.dot_nonneg(&ap, &bp) + self.dot_nonneg(&an, &bn)
+            - self.dot_nonneg(&ap, &bn)
+            - self.dot_nonneg(&an, &bp)
+    }
+
+    /// Latency of one n-element dot product, seconds: the block occupies
+    /// `n` symbol slots plus a fixed analog front-end latency (~1 ns for
+    /// modulator + detector + readout).
+    pub fn latency_s(&self, n: usize) -> f64 {
+        n as f64 / self.config.sample_rate_hz + 1e-9
+    }
+
+    /// Energy ledger over everything this unit has done so far.
+    pub fn energy_ledger(&self) -> EnergyLedger {
+        let mut ledger = EnergyLedger::new();
+        ledger.add("laser", self.laser.config.wall_plug_w * self.seconds_active());
+        ledger.add("mzm-a", self.mzm_a.energy_consumed_j());
+        ledger.add("mzm-b", self.mzm_b.energy_consumed_j());
+        ledger.add("photodetector", self.pd.energy_consumed_j());
+        ledger.add("dac", self.dac.energy_consumed_j());
+        ledger.add("adc", self.adc.energy_consumed_j());
+        ledger
+    }
+
+    /// Seconds of optical signal processed.
+    fn seconds_active(&self) -> f64 {
+        self.macs_performed as f64 / self.config.sample_rate_hz
+    }
+
+    /// Energy per MAC achieved so far, J (total ledger / MACs).
+    pub fn energy_per_mac_j(&self) -> f64 {
+        if self.macs_performed == 0 {
+            return 0.0;
+        }
+        self.energy_ledger().total_j() / self.macs_performed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn ideal_unit_computes_exact_dot() {
+        let mut unit = DotProductUnit::ideal();
+        let a = vec![0.5, 0.25, 1.0, 0.0, 0.75];
+        let b = vec![1.0, 0.5, 0.5, 1.0, 0.25];
+        let got = unit.dot_nonneg(&a, &b);
+        let want = exact_dot(&a, &b);
+        assert!((got - want).abs() < 0.01, "got {got} want {want}");
+    }
+
+    #[test]
+    fn signed_dot_product() {
+        let mut unit = DotProductUnit::ideal();
+        let a = vec![0.5, -0.25, 1.0, -0.5];
+        let b = vec![-1.0, 0.5, 0.5, 1.0];
+        let got = unit.dot_signed(&a, &b);
+        let want = exact_dot(&a, &b);
+        assert!((got - want).abs() < 0.02, "got {got} want {want}");
+    }
+
+    #[test]
+    fn calibration_corrects_insertion_loss() {
+        // Lossy modulators scale the light by ~-7 dB; an uncalibrated
+        // nominal gain would be off by that factor, calibration fixes it.
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut cfg = DotUnitConfig::ideal();
+        cfg.mzm_a.insertion_loss_db = 3.5;
+        cfg.mzm_b.insertion_loss_db = 3.5;
+        let mut unit = DotProductUnit::new(cfg, &mut rng);
+        unit.calibrate(64);
+        let a = vec![0.8, 0.4];
+        let b = vec![0.5, 0.5];
+        let got = unit.dot_nonneg(&a, &b);
+        assert!((got - 0.6).abs() < 0.01, "got {got}");
+    }
+
+    #[test]
+    fn uncalibrated_lossy_unit_is_biased() {
+        // The E10 ablation in miniature: inject the "nominal" calibration
+        // that ignores insertion loss and watch the bias appear.
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut cfg = DotUnitConfig::ideal();
+        cfg.mzm_a.insertion_loss_db = 3.5;
+        cfg.mzm_b.insertion_loss_db = 3.5;
+        let p0 = ofpc_photonics::units::dbm_to_watts(cfg.laser.power_dbm);
+        let mut unit = DotProductUnit::new(cfg, &mut rng);
+        unit.set_calibration(DotCalibration {
+            unit_current_a: p0, // nominal R·P0, ignoring 7 dB of loss
+            dark_current_a: 0.0,
+        });
+        let got = unit.dot_nonneg(&[1.0], &[1.0]);
+        assert!(got < 0.5, "uncalibrated result should be badly low, got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrated")]
+    fn uncalibrated_unit_panics() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut unit = DotProductUnit::new(DotUnitConfig::ideal(), &mut rng);
+        unit.dot_nonneg(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_lengths_panic() {
+        let mut unit = DotProductUnit::ideal();
+        unit.dot_nonneg(&[1.0, 0.5], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_vectors_panic() {
+        let mut unit = DotProductUnit::ideal();
+        unit.dot_nonneg(&[], &[]);
+    }
+
+    #[test]
+    fn noisy_unit_is_approximately_right() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut unit = DotProductUnit::new(DotUnitConfig::realistic(), &mut rng);
+        unit.calibrate(256);
+        let n = 64;
+        let a: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (n - i) as f64 / n as f64).collect();
+        let want = exact_dot(&a, &b);
+        let got = unit.dot_nonneg(&a, &b);
+        let rel = (got - want).abs() / want;
+        assert!(rel < 0.1, "relative error {rel} (got {got}, want {want})");
+    }
+
+    #[test]
+    fn on_fiber_mode_skips_data_dac_energy() {
+        let mut rng1 = SimRng::seed_from_u64(4);
+        let mut rng2 = SimRng::seed_from_u64(4);
+        let mut cfg_fiber = DotUnitConfig::realistic();
+        cfg_fiber.source = OperandSource::OnFiber;
+        let mut cfg_digital = cfg_fiber.clone();
+        cfg_digital.source = OperandSource::Digital;
+
+        let mut on_fiber = DotProductUnit::new(cfg_fiber, &mut rng1);
+        let mut digital = DotProductUnit::new(cfg_digital, &mut rng2);
+        on_fiber.calibrate(64);
+        digital.calibrate(64);
+        let a = vec![0.5; 128];
+        let b = vec![0.5; 128];
+        on_fiber.dot_nonneg(&a, &b);
+        digital.dot_nonneg(&a, &b);
+        let e_fiber = on_fiber.energy_ledger().get("dac");
+        let e_digital = digital.energy_ledger().get("dac");
+        assert!(
+            e_digital > 1.5 * e_fiber,
+            "digital DAC energy {e_digital} should dwarf on-fiber {e_fiber}"
+        );
+    }
+
+    #[test]
+    fn energy_per_mac_is_reported() {
+        let mut unit = DotProductUnit::ideal();
+        let _ = unit.dot_nonneg(&[0.5; 32], &[0.5; 32]);
+        // Ideal config has zero device energies.
+        assert_eq!(unit.energy_per_mac_j(), 0.0);
+        assert_eq!(unit.macs_performed, 32);
+
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut real = DotProductUnit::new(DotUnitConfig::realistic(), &mut rng);
+        real.calibrate(64);
+        let _ = real.dot_nonneg(&[0.5; 32], &[0.5; 32]);
+        assert!(real.energy_per_mac_j() > 0.0);
+    }
+
+    #[test]
+    fn latency_scales_with_vector_length() {
+        let unit = DotProductUnit::ideal();
+        let l64 = unit.latency_s(64);
+        let l128 = unit.latency_s(128);
+        assert!(l128 > l64);
+        // 64 symbols at 32 GHz = 2 ns, plus 1 ns front end.
+        assert!((l64 - 3e-9).abs() < 1e-10, "latency {l64}");
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let run = || {
+            let mut rng = SimRng::seed_from_u64(7);
+            let mut unit = DotProductUnit::new(DotUnitConfig::realistic(), &mut rng);
+            unit.calibrate(64);
+            unit.dot_nonneg(&[0.3; 40], &[0.7; 40])
+        };
+        assert_eq!(run(), run());
+    }
+}

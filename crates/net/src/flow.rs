@@ -1,0 +1,247 @@
+//! Traffic generation.
+//!
+//! Deterministic workload builders for the experiments: constant-bit-rate
+//! and Poisson flows, plain or compute-tagged, plus a Zipf sampler for
+//! skewed popularity (which destination/operation a request hits).
+
+use crate::addr::Addr;
+use crate::packet::Packet;
+use crate::pch::PchHeader;
+use ofpc_engine::Primitive;
+use ofpc_photonics::SimRng;
+
+/// What kind of packets a flow emits.
+#[derive(Debug, Clone)]
+pub enum FlowKind {
+    /// Plain data packets with `payload_bytes` of zeros.
+    Data { payload_bytes: usize },
+    /// Compute requests carrying an operand vector.
+    Compute {
+        primitive: Primitive,
+        op_id: u16,
+        operands: Vec<f64>,
+    },
+}
+
+/// A flow specification.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    pub src: Addr,
+    pub dst: Addr,
+    pub kind: FlowKind,
+    /// First packet time, ps.
+    pub start_ps: u64,
+    /// Number of packets.
+    pub count: usize,
+    /// Packet arrival process.
+    pub arrival: Arrival,
+}
+
+/// Packet arrival process.
+#[derive(Debug, Clone, Copy)]
+pub enum Arrival {
+    /// Fixed inter-packet gap, ps.
+    Cbr { gap_ps: u64 },
+    /// Poisson arrivals with the given mean rate, packets/s.
+    Poisson { rate_pps: f64 },
+}
+
+impl FlowSpec {
+    /// Materialize the flow: a time-sorted list of `(time_ps, packet)`.
+    /// Packet IDs are `id_base..id_base+count`.
+    pub fn generate(&self, id_base: u32, rng: &mut SimRng) -> Vec<(u64, Packet)> {
+        let mut out = Vec::with_capacity(self.count);
+        let mut t = self.start_ps;
+        for i in 0..self.count {
+            let id = id_base + i as u32;
+            let packet = match &self.kind {
+                FlowKind::Data { payload_bytes } => {
+                    Packet::data(self.src, self.dst, id, vec![0u8; *payload_bytes])
+                }
+                FlowKind::Compute {
+                    primitive,
+                    op_id,
+                    operands,
+                } => {
+                    let pch = PchHeader::request(*primitive, *op_id, operands.len() as u16);
+                    Packet::compute(self.src, self.dst, id, pch, Packet::encode_operands(operands))
+                }
+            };
+            out.push((t, packet));
+            t += match self.arrival {
+                Arrival::Cbr { gap_ps } => gap_ps,
+                Arrival::Poisson { rate_pps } => {
+                    (rng.exponential(rate_pps) * 1e12).round().max(1.0) as u64
+                }
+            };
+        }
+        out
+    }
+
+    /// Aggregate offered load of a CBR flow, bits/s (None for Poisson).
+    pub fn offered_load_bps(&self) -> Option<f64> {
+        match self.arrival {
+            Arrival::Cbr { gap_ps } => {
+                let bytes = match &self.kind {
+                    FlowKind::Data { payload_bytes } => {
+                        crate::packet::IP_HEADER_BYTES + payload_bytes
+                    }
+                    FlowKind::Compute { operands, .. } => {
+                        crate::packet::IP_HEADER_BYTES
+                            + crate::pch::PCH_WIRE_BYTES
+                            + operands.len()
+                    }
+                };
+                Some(bytes as f64 * 8.0 / (gap_ps as f64 / 1e12))
+            }
+            Arrival::Poisson { .. } => None,
+        }
+    }
+}
+
+/// A Zipf(α) sampler over `n` items — skewed popularity for destinations
+/// and operations.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one item");
+        assert!(alpha >= 0.0, "Zipf alpha must be non-negative");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: FlowKind, arrival: Arrival) -> FlowSpec {
+        FlowSpec {
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::new(10, 0, 1, 1),
+            kind,
+            start_ps: 1_000,
+            count: 10,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn cbr_spacing_is_exact() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let f = spec(
+            FlowKind::Data { payload_bytes: 100 },
+            Arrival::Cbr { gap_ps: 500 },
+        );
+        let pkts = f.generate(100, &mut rng);
+        assert_eq!(pkts.len(), 10);
+        assert_eq!(pkts[0].0, 1_000);
+        assert_eq!(pkts[9].0, 1_000 + 9 * 500);
+        assert_eq!(pkts[0].1.id, 100);
+        assert_eq!(pkts[9].1.id, 109);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let f = FlowSpec {
+            count: 5_000,
+            ..spec(
+                FlowKind::Data { payload_bytes: 10 },
+                Arrival::Poisson { rate_pps: 1e6 },
+            )
+        };
+        let pkts = f.generate(0, &mut rng);
+        let gaps: Vec<f64> = pkts.windows(2).map(|w| (w[1].0 - w[0].0) as f64).collect();
+        let mean_ps = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        // 1e6 pps → mean gap 1e6 ps.
+        assert!((mean_ps - 1e6).abs() / 1e6 < 0.05, "mean gap {mean_ps}");
+    }
+
+    #[test]
+    fn compute_flow_carries_pch_and_operands() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let f = spec(
+            FlowKind::Compute {
+                primitive: Primitive::VectorDotProduct,
+                op_id: 5,
+                operands: vec![0.25, 0.75],
+            },
+            Arrival::Cbr { gap_ps: 100 },
+        );
+        let pkts = f.generate(0, &mut rng);
+        let p = &pkts[0].1;
+        assert!(p.is_compute());
+        let pch = p.pch.unwrap();
+        assert_eq!(pch.op_id, 5);
+        assert_eq!(pch.operand_len, 2);
+        let ops = p.operands();
+        assert!((ops[0] - 0.25).abs() < 0.01 && (ops[1] - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn offered_load_accounts_headers() {
+        let f = spec(
+            FlowKind::Data { payload_bytes: 84 },
+            Arrival::Cbr { gap_ps: 1_000_000 }, // 1 µs gap
+        );
+        // 100 bytes per µs = 800 Mb/s.
+        let load = f.offered_load_bps().unwrap();
+        assert!((load - 800e6).abs() / 800e6 < 1e-9, "load {load}");
+        let poisson = spec(
+            FlowKind::Data { payload_bytes: 84 },
+            Arrival::Poisson { rate_pps: 1.0 },
+        );
+        assert!(poisson.offered_load_bps().is_none());
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "{counts:?}");
+        assert!(counts[0] > 2_000, "{counts:?}");
+        // All indices in range (implicitly true by no panic) and the top
+        // item dominates but not exclusively.
+        assert!(counts[1] > 0);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 2_000.0).abs() < 200.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

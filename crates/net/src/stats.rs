@@ -1,0 +1,197 @@
+//! Measurement collectors.
+//!
+//! Per-packet delivery records, latency percentiles, throughput, and a
+//! tiny histogram type the experiment harnesses print. All pure data —
+//! the simulator feeds records in, experiments read summaries out.
+
+use serde::{Deserialize, Serialize};
+
+/// One delivered packet's record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    pub packet_id: u32,
+    pub created_ps: u64,
+    pub delivered_ps: u64,
+    pub hops: u32,
+    /// Whether a photonic engine executed this packet's operation.
+    pub computed: bool,
+    pub wire_bytes: usize,
+}
+
+impl DeliveryRecord {
+    pub fn latency_ps(&self) -> u64 {
+        self.delivered_ps.saturating_sub(self.created_ps)
+    }
+
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_ps() as f64 / 1e9
+    }
+}
+
+/// Collected simulation statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsCollector {
+    pub delivered: Vec<DeliveryRecord>,
+    pub drops_queue: u64,
+    pub drops_ttl: u64,
+    pub drops_no_route: u64,
+}
+
+impl StatsCollector {
+    pub fn new() -> Self {
+        StatsCollector::default()
+    }
+
+    pub fn record_delivery(&mut self, record: DeliveryRecord) {
+        self.delivered.push(record);
+    }
+
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    pub fn computed_count(&self) -> usize {
+        self.delivered.iter().filter(|r| r.computed).count()
+    }
+
+    /// Latency percentile in milliseconds over delivered packets.
+    /// `q` in `[0, 1]`. Returns `None` when nothing was delivered.
+    pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
+        percentile(
+            self.delivered.iter().map(|r| r.latency_ms()).collect(),
+            q,
+        )
+    }
+
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.delivered.is_empty() {
+            return None;
+        }
+        Some(
+            self.delivered.iter().map(|r| r.latency_ms()).sum::<f64>()
+                / self.delivered.len() as f64,
+        )
+    }
+
+    /// Delivered goodput over the interval spanned by deliveries, bits/s.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.delivered.len() < 2 {
+            return 0.0;
+        }
+        let first = self.delivered.iter().map(|r| r.created_ps).min().unwrap();
+        let last = self.delivered.iter().map(|r| r.delivered_ps).max().unwrap();
+        let seconds = (last - first) as f64 / 1e12;
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        let bits: usize = self.delivered.iter().map(|r| r.wire_bytes * 8).sum();
+        bits as f64 / seconds
+    }
+
+    pub fn total_drops(&self) -> u64 {
+        self.drops_queue + self.drops_ttl + self.drops_no_route
+    }
+}
+
+/// Percentile of a sample set (linear interpolation between ranks).
+pub fn percentile(mut values: Vec<f64>, q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1]");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(values[lo])
+    } else {
+        let t = pos - lo as f64;
+        Some(values[lo] * (1.0 - t) + values[hi] * t)
+    }
+}
+
+/// Jain's fairness index over per-flow allocations: `(Σx)² / (n·Σx²)`.
+/// 1.0 = perfectly fair. Used by the bandwidth-sharing experiment E8.
+pub fn jain_fairness(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (allocations.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, created: u64, delivered: u64) -> DeliveryRecord {
+        DeliveryRecord {
+            packet_id: id,
+            created_ps: created,
+            delivered_ps: delivered,
+            hops: 2,
+            computed: id.is_multiple_of(2),
+            wire_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn latency_math() {
+        let r = rec(1, 1_000_000, 3_000_000);
+        assert_eq!(r.latency_ps(), 2_000_000);
+        assert!((r.latency_ms() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(values.clone(), 0.0), Some(1.0));
+        assert_eq!(percentile(values.clone(), 1.0), Some(5.0));
+        assert_eq!(percentile(values.clone(), 0.5), Some(3.0));
+        assert_eq!(percentile(values, 0.25), Some(2.0));
+        assert_eq!(percentile(vec![], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn bad_percentile_panics() {
+        percentile(vec![1.0], 1.5);
+    }
+
+    #[test]
+    fn collector_summaries() {
+        let mut c = StatsCollector::new();
+        for i in 0..10u32 {
+            c.record_delivery(rec(i, 0, (i as u64 + 1) * 1_000_000_000));
+        }
+        assert_eq!(c.delivered_count(), 10);
+        assert_eq!(c.computed_count(), 5);
+        assert!(c.mean_latency_ms().unwrap() > 0.0);
+        assert!(c.latency_percentile_ms(0.99).unwrap() >= c.latency_percentile_ms(0.5).unwrap());
+        assert!(c.goodput_bps() > 0.0);
+        assert_eq!(c.total_drops(), 0);
+    }
+
+    #[test]
+    fn empty_collector_is_well_behaved() {
+        let c = StatsCollector::new();
+        assert_eq!(c.mean_latency_ms(), None);
+        assert_eq!(c.latency_percentile_ms(0.5), None);
+        assert_eq!(c.goodput_bps(), 0.0);
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One user hogging everything among n: index = 1/n.
+        let idx = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+}

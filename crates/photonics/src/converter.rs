@@ -1,0 +1,266 @@
+//! Data converters: DAC and ADC.
+//!
+//! The boundary devices between the digital and analog domains (Fig. 3).
+//! The paper's second §2.2 benefit — on-fiber computing skips the
+//! constant DAC/ADC round-trips that conventional photonic accelerators
+//! pay — is quantified with the energy model here: every conversion has a
+//! per-sample energy cost, so experiment E3 can count exactly how many
+//! joules the photonic-engine receive path saves.
+
+use crate::rng::SimRng;
+use crate::signal::AnalogWaveform;
+use crate::units;
+
+/// Configuration shared by both converter directions.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ConverterConfig {
+    /// Nominal resolution in bits.
+    pub bits: u32,
+    /// Full-scale range: codes map to voltages in `[0, full_scale_v]`.
+    pub full_scale_v: f64,
+    /// Energy per conversion sample, joules. High-speed 8-bit converters
+    /// run on the order of 1–10 pJ/sample.
+    pub energy_per_sample_j: f64,
+    /// Additive RMS noise referred to the output (DAC) or input (ADC),
+    /// volts — models jitter + reference noise beyond quantization.
+    pub noise_rms_v: f64,
+}
+
+impl ConverterConfig {
+    /// Ideal converter: quantization only, zero energy.
+    pub fn ideal(bits: u32) -> Self {
+        ConverterConfig {
+            bits,
+            full_scale_v: 1.0,
+            energy_per_sample_j: 0.0,
+            noise_rms_v: 0.0,
+        }
+    }
+}
+
+impl Default for ConverterConfig {
+    fn default() -> Self {
+        ConverterConfig {
+            bits: 8,
+            full_scale_v: 1.0,
+            energy_per_sample_j: 1.5e-12,
+            noise_rms_v: 0.0005,
+        }
+    }
+}
+
+/// Digital-to-analog converter: code → voltage.
+#[derive(Debug, Clone)]
+pub struct Dac {
+    pub config: ConverterConfig,
+    rng: SimRng,
+    pub samples_converted: u64,
+}
+
+impl Dac {
+    pub fn new(config: ConverterConfig, rng: SimRng) -> Self {
+        assert!(config.bits >= 1 && config.bits <= 24, "unreasonable DAC resolution");
+        Dac {
+            config,
+            rng,
+            samples_converted: 0,
+        }
+    }
+
+    pub fn ideal(bits: u32) -> Self {
+        Dac::new(ConverterConfig::ideal(bits), SimRng::seed_from_u64(0))
+    }
+
+    /// Number of codes, `2^bits`.
+    pub fn levels(&self) -> u64 {
+        1u64 << self.config.bits
+    }
+
+    /// Convert a block of digital codes to voltages. Codes are clamped to
+    /// the valid range (saturation, not wraparound).
+    pub fn convert(&mut self, codes: &[u64], sample_rate_hz: f64) -> AnalogWaveform {
+        let max_code = self.levels() - 1;
+        let lsb = self.config.full_scale_v / max_code as f64;
+        let mut out = AnalogWaveform::zeros(codes.len(), sample_rate_hz);
+        for (o, &c) in out.samples.iter_mut().zip(codes.iter()) {
+            let c = c.min(max_code);
+            let mut v = c as f64 * lsb;
+            if self.config.noise_rms_v > 0.0 {
+                v += self.rng.normal(0.0, self.config.noise_rms_v);
+            }
+            *o = v;
+        }
+        self.samples_converted += codes.len() as u64;
+        out
+    }
+
+    /// Encode a normalized value in `[0,1]` to the nearest code.
+    pub fn encode_unit(&self, x: f64) -> u64 {
+        let max_code = self.levels() - 1;
+        (x.clamp(0.0, 1.0) * max_code as f64).round() as u64
+    }
+
+    pub fn energy_consumed_j(&self) -> f64 {
+        self.samples_converted as f64 * self.config.energy_per_sample_j
+    }
+}
+
+/// Analog-to-digital converter: voltage → code.
+#[derive(Debug, Clone)]
+pub struct Adc {
+    pub config: ConverterConfig,
+    rng: SimRng,
+    pub samples_converted: u64,
+}
+
+impl Adc {
+    pub fn new(config: ConverterConfig, rng: SimRng) -> Self {
+        assert!(config.bits >= 1 && config.bits <= 24, "unreasonable ADC resolution");
+        Adc {
+            config,
+            rng,
+            samples_converted: 0,
+        }
+    }
+
+    pub fn ideal(bits: u32) -> Self {
+        Adc::new(ConverterConfig::ideal(bits), SimRng::seed_from_u64(0))
+    }
+
+    pub fn levels(&self) -> u64 {
+        1u64 << self.config.bits
+    }
+
+    /// Quantize a waveform to codes. Inputs outside `[0, full_scale_v]`
+    /// saturate at the rails.
+    pub fn convert(&mut self, input: &AnalogWaveform) -> Vec<u64> {
+        let max_code = self.levels() - 1;
+        let lsb = self.config.full_scale_v / max_code as f64;
+        let mut out = Vec::with_capacity(input.len());
+        for &v in &input.samples {
+            let mut v = v;
+            if self.config.noise_rms_v > 0.0 {
+                v += self.rng.normal(0.0, self.config.noise_rms_v);
+            }
+            let code = (v / lsb).round().clamp(0.0, max_code as f64) as u64;
+            out.push(code);
+        }
+        self.samples_converted += input.len() as u64;
+        out
+    }
+
+    /// Decode a code back to the unit interval `[0,1]`.
+    pub fn decode_unit(&self, code: u64) -> f64 {
+        let max_code = self.levels() - 1;
+        code.min(max_code) as f64 / max_code as f64
+    }
+
+    /// Ideal quantization SNR of this converter, dB.
+    pub fn quantization_snr_db(&self) -> f64 {
+        units::bits_to_snr_db(self.config.bits as f64)
+    }
+
+    pub fn energy_consumed_j(&self) -> f64 {
+        self.samples_converted as f64 * self.config.energy_per_sample_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RATE: f64 = 10e9;
+
+    #[test]
+    fn dac_adc_round_trip_is_code_exact() {
+        let mut dac = Dac::ideal(8);
+        let mut adc = Adc::ideal(8);
+        let codes: Vec<u64> = (0..256).collect();
+        let wave = dac.convert(&codes, RATE);
+        let back = adc.convert(&wave);
+        assert_eq!(codes, back);
+    }
+
+    #[test]
+    fn dac_clamps_out_of_range_codes() {
+        let mut dac = Dac::ideal(4);
+        let wave = dac.convert(&[100_000], RATE);
+        assert!((wave.samples[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adc_saturates_at_rails() {
+        let mut adc = Adc::ideal(8);
+        let wave = AnalogWaveform::new(vec![-0.5, 2.0], RATE);
+        let codes = adc.convert(&wave);
+        assert_eq!(codes, vec![0, 255]);
+    }
+
+    #[test]
+    fn encode_decode_unit_round_trip_within_half_lsb() {
+        let dac = Dac::ideal(8);
+        let adc = Adc::ideal(8);
+        for i in 0..100 {
+            let x = i as f64 / 99.0;
+            let y = adc.decode_unit(dac.encode_unit(x));
+            assert!((x - y).abs() <= 0.5 / 255.0 + 1e-12, "x {x} y {y}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let mut dac = Dac::ideal(6);
+        let mut adc = Adc::ideal(6);
+        let lsb = 1.0 / 63.0;
+        for i in 0..200 {
+            let x = i as f64 / 199.0;
+            let code = dac.encode_unit(x);
+            let wave = dac.convert(&[code], RATE);
+            let back = adc.convert(&wave);
+            let y = adc.decode_unit(back[0]);
+            assert!((x - y).abs() <= 0.5 * lsb + 1e-12);
+        }
+    }
+
+    #[test]
+    fn converter_energy_accounting() {
+        let mut dac = Dac::new(
+            ConverterConfig {
+                energy_per_sample_j: 2e-12,
+                ..ConverterConfig::ideal(8)
+            },
+            SimRng::seed_from_u64(0),
+        );
+        dac.convert(&[0; 1000], RATE);
+        assert!((dac.energy_consumed_j() - 2e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn adc_noise_degrades_effective_bits() {
+        // With noise at several LSBs, repeated conversion of the same
+        // voltage spreads across codes.
+        let mut adc = Adc::new(
+            ConverterConfig {
+                noise_rms_v: 4.0 / 255.0,
+                ..ConverterConfig::ideal(8)
+            },
+            SimRng::seed_from_u64(5),
+        );
+        let wave = AnalogWaveform::new(vec![0.5; 1000], RATE);
+        let codes = adc.convert(&wave);
+        let distinct: std::collections::HashSet<u64> = codes.iter().copied().collect();
+        assert!(distinct.len() > 5, "only {} codes", distinct.len());
+    }
+
+    #[test]
+    fn quantization_snr_matches_formula() {
+        let adc = Adc::ideal(8);
+        assert!((adc.quantization_snr_db() - 49.92).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable")]
+    fn rejects_zero_bit_converter() {
+        Dac::new(ConverterConfig::ideal(0), SimRng::seed_from_u64(0));
+    }
+}

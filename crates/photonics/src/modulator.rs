@@ -1,0 +1,403 @@
+//! Optical modulators.
+//!
+//! Two device types drive all three of the paper's computing primitives
+//! (Fig. 2a–c):
+//!
+//! * [`MachZehnderModulator`] — intensity modulator with the standard
+//!   raised-cosine power transfer `T(v) = sin²(π v / (2 Vπ) + φ_bias)`.
+//!   Two MZMs back-to-back implement the element-wise product of P1.
+//! * [`PhaseModulator`] — pure phase encoder `E → E·e^{i π v / Vπ}`,
+//!   used by the P2 pattern matcher's interference scheme.
+//!
+//! Both models include insertion loss, finite extinction ratio, and
+//! drive-bandwidth limiting; all are configurable so tests can switch the
+//! imperfections off and verify the ideal math first.
+
+use crate::signal::{AnalogWaveform, OpticalField};
+use crate::units;
+
+/// Bias point of a Mach-Zehnder modulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BiasPoint {
+    /// Null point: zero transmission at zero drive. Best contrast for
+    /// amplitude encoding of non-negative values.
+    Null,
+    /// Quadrature: 50% transmission at zero drive, locally linear — the
+    /// operating point used for analog computing (Fig. 2a) because the
+    /// small-signal response is linear in the drive voltage.
+    Quadrature,
+    /// Peak: full transmission at zero drive.
+    Peak,
+}
+
+impl BiasPoint {
+    /// Static phase offset contributed by the bias, radians.
+    fn phase_offset(self) -> f64 {
+        match self {
+            BiasPoint::Null => 0.0,
+            BiasPoint::Quadrature => std::f64::consts::FRAC_PI_4,
+            BiasPoint::Peak => std::f64::consts::FRAC_PI_2,
+        }
+    }
+}
+
+/// Configuration of a Mach-Zehnder intensity modulator.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MzmConfig {
+    /// Half-wave voltage Vπ (volts); typical silicon MZM: 2–6 V.
+    pub v_pi: f64,
+    /// Bias operating point.
+    pub bias: BiasPoint,
+    /// Insertion loss in dB (typical 3–5 dB).
+    pub insertion_loss_db: f64,
+    /// Extinction ratio in dB (finite leakage at the null; typical 20–30).
+    pub extinction_ratio_db: f64,
+    /// 3-dB electro-optic bandwidth in Hz (0 = unlimited).
+    pub bandwidth_hz: f64,
+    /// Drive energy per symbol transition, joules (for energy accounting;
+    /// on the order of tens of fJ for integrated silicon MZMs).
+    pub drive_energy_j: f64,
+}
+
+impl MzmConfig {
+    /// An ideal, lossless, infinite-bandwidth MZM — calibration reference.
+    pub fn ideal() -> Self {
+        MzmConfig {
+            v_pi: 3.0,
+            bias: BiasPoint::Null,
+            insertion_loss_db: 0.0,
+            extinction_ratio_db: f64::INFINITY,
+            bandwidth_hz: 0.0,
+            drive_energy_j: 0.0,
+        }
+    }
+}
+
+impl Default for MzmConfig {
+    fn default() -> Self {
+        MzmConfig {
+            v_pi: 3.0,
+            bias: BiasPoint::Null,
+            insertion_loss_db: 3.5,
+            extinction_ratio_db: 25.0,
+            bandwidth_hz: 40e9,
+            drive_energy_j: 50e-15,
+        }
+    }
+}
+
+/// Mach-Zehnder intensity modulator.
+#[derive(Debug, Clone)]
+pub struct MachZehnderModulator {
+    pub config: MzmConfig,
+    /// Symbols modulated so far (drives energy accounting).
+    pub symbols_modulated: u64,
+}
+
+impl MachZehnderModulator {
+    pub fn new(config: MzmConfig) -> Self {
+        MachZehnderModulator {
+            config,
+            symbols_modulated: 0,
+        }
+    }
+
+    /// Amplitude transmission for drive voltage `v`:
+    /// `t(v) = sin(π v / (2 Vπ) + φ_bias)`, floored by the extinction
+    /// ratio and scaled by insertion loss. Power transmission is `t²`.
+    pub fn amplitude_transmission(&self, v: f64) -> f64 {
+        let theta = std::f64::consts::PI * v / (2.0 * self.config.v_pi)
+            + self.config.bias.phase_offset();
+        let t = theta.sin();
+        let floor = if self.config.extinction_ratio_db.is_finite() {
+            units::db_to_linear(-self.config.extinction_ratio_db).sqrt()
+        } else {
+            0.0
+        };
+        // Keep the sign of the ideal transmission but floor the magnitude
+        // at the extinction-ratio leakage level.
+        let sign = if t < 0.0 { -1.0 } else { 1.0 };
+        let t = sign * t.abs().max(floor);
+        let il = units::db_to_linear(-self.config.insertion_loss_db).sqrt();
+        t * il
+    }
+
+    /// Power transmission `T(v) = t(v)²`.
+    pub fn power_transmission(&self, v: f64) -> f64 {
+        let t = self.amplitude_transmission(v);
+        t * t
+    }
+
+    /// The drive voltage that produces (ideal, lossless) power
+    /// transmission `target` in `[0, 1]` at the configured bias. Used by
+    /// calibration to encode a known value onto the light.
+    pub fn drive_for_transmission(&self, target: f64) -> f64 {
+        let target = target.clamp(0.0, 1.0);
+        let theta = target.sqrt().asin();
+        (theta - self.config.bias.phase_offset()) * 2.0 * self.config.v_pi
+            / std::f64::consts::PI
+    }
+
+    /// Modulate `input` with the drive waveform; sample `i` of the output
+    /// is the input field scaled by `t(drive[i])`. The drive is bandwidth
+    /// limited first if the config specifies a finite bandwidth.
+    ///
+    /// `drive.len()` must equal `input.len()`.
+    pub fn modulate(&mut self, input: &OpticalField, drive: &AnalogWaveform) -> OpticalField {
+        assert_eq!(
+            input.len(),
+            drive.len(),
+            "drive waveform length must match optical block"
+        );
+        let mut drive = drive.clone();
+        if self.config.bandwidth_hz > 0.0 {
+            drive.lowpass(self.config.bandwidth_hz);
+        }
+        let mut out = input.clone();
+        for (s, &v) in out.samples.iter_mut().zip(drive.samples.iter()) {
+            *s = s.scale(self.amplitude_transmission(v));
+        }
+        self.symbols_modulated += input.len() as u64;
+        out
+    }
+
+    /// Total drive energy consumed so far, joules.
+    pub fn energy_consumed_j(&self) -> f64 {
+        self.symbols_modulated as f64 * self.config.drive_energy_j
+    }
+}
+
+/// Configuration of a phase modulator.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PhaseModulatorConfig {
+    /// Voltage for a π phase shift.
+    pub v_pi: f64,
+    /// Insertion loss in dB.
+    pub insertion_loss_db: f64,
+    /// 3-dB bandwidth in Hz (0 = unlimited).
+    pub bandwidth_hz: f64,
+    /// Drive energy per symbol, joules.
+    pub drive_energy_j: f64,
+}
+
+impl PhaseModulatorConfig {
+    pub fn ideal() -> Self {
+        PhaseModulatorConfig {
+            v_pi: 3.0,
+            insertion_loss_db: 0.0,
+            bandwidth_hz: 0.0,
+            drive_energy_j: 0.0,
+        }
+    }
+}
+
+impl Default for PhaseModulatorConfig {
+    fn default() -> Self {
+        PhaseModulatorConfig {
+            v_pi: 3.0,
+            insertion_loss_db: 2.0,
+            bandwidth_hz: 40e9,
+            drive_energy_j: 30e-15,
+        }
+    }
+}
+
+/// Pure phase modulator: `E → E · e^{i π v / Vπ}` per sample.
+#[derive(Debug, Clone)]
+pub struct PhaseModulator {
+    pub config: PhaseModulatorConfig,
+    pub symbols_modulated: u64,
+}
+
+impl PhaseModulator {
+    pub fn new(config: PhaseModulatorConfig) -> Self {
+        PhaseModulator {
+            config,
+            symbols_modulated: 0,
+        }
+    }
+
+    /// Phase shift for drive voltage `v`, radians.
+    #[inline]
+    pub fn phase_for(&self, v: f64) -> f64 {
+        std::f64::consts::PI * v / self.config.v_pi
+    }
+
+    /// Drive voltage for a desired phase shift.
+    #[inline]
+    pub fn drive_for_phase(&self, phase: f64) -> f64 {
+        phase * self.config.v_pi / std::f64::consts::PI
+    }
+
+    /// Apply per-sample phase modulation.
+    pub fn modulate(&mut self, input: &OpticalField, drive: &AnalogWaveform) -> OpticalField {
+        assert_eq!(
+            input.len(),
+            drive.len(),
+            "drive waveform length must match optical block"
+        );
+        let mut drive = drive.clone();
+        if self.config.bandwidth_hz > 0.0 {
+            drive.lowpass(self.config.bandwidth_hz);
+        }
+        let il = units::db_to_linear(-self.config.insertion_loss_db).sqrt();
+        let mut out = input.clone();
+        for (s, &v) in out.samples.iter_mut().zip(drive.samples.iter()) {
+            *s = s.rotate(self.phase_for(v)).scale(il);
+        }
+        self.symbols_modulated += input.len() as u64;
+        out
+    }
+
+    pub fn energy_consumed_j(&self) -> f64 {
+        self.symbols_modulated as f64 * self.config.drive_energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::OpticalField;
+
+    const RATE: f64 = 10e9;
+    const WL: f64 = units::C_BAND_WAVELENGTH_M;
+
+    fn cw(n: usize) -> OpticalField {
+        OpticalField::cw(n, 1e-3, RATE, WL)
+    }
+
+    #[test]
+    fn ideal_mzm_null_bias_extremes() {
+        let m = MachZehnderModulator::new(MzmConfig::ideal());
+        // v = 0 → dark; v = Vπ → full transmission (sin(π/2) = 1).
+        assert!(m.power_transmission(0.0) < 1e-20);
+        assert!((m.power_transmission(3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrature_bias_half_transmission_at_zero() {
+        let m = MachZehnderModulator::new(MzmConfig {
+            bias: BiasPoint::Quadrature,
+            ..MzmConfig::ideal()
+        });
+        assert!((m.power_transmission(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drive_for_transmission_inverts_transfer() {
+        let mut m = MachZehnderModulator::new(MzmConfig::ideal());
+        for target in [0.0, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            let v = m.drive_for_transmission(target);
+            let input = cw(1);
+            let drive = AnalogWaveform::new(vec![v], RATE);
+            let out = m.modulate(&input, &drive);
+            let got = out.power_at(0) / input.power_at(0);
+            assert!((got - target).abs() < 1e-9, "target {target} got {got}");
+        }
+    }
+
+    #[test]
+    fn two_mzms_back_to_back_multiply() {
+        // This is the P1 primitive's core algebra (Fig. 2a): power
+        // transmissions multiply, so encoding a then b yields a·b.
+        let mut m1 = MachZehnderModulator::new(MzmConfig::ideal());
+        let mut m2 = MachZehnderModulator::new(MzmConfig::ideal());
+        let (a, b) = (0.6, 0.3);
+        let input = cw(1);
+        let d1 = AnalogWaveform::new(vec![m1.drive_for_transmission(a)], RATE);
+        let d2 = AnalogWaveform::new(vec![m2.drive_for_transmission(b)], RATE);
+        let out = m2.modulate(&m1.modulate(&input, &d1), &d2);
+        let got = out.power_at(0) / input.power_at(0);
+        assert!((got - a * b).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn insertion_loss_reduces_power() {
+        let mut m = MachZehnderModulator::new(MzmConfig {
+            insertion_loss_db: 3.0103,
+            ..MzmConfig::ideal()
+        });
+        let input = cw(4);
+        let drive = AnalogWaveform::new(vec![m.drive_for_transmission(1.0); 4], RATE);
+        let out = m.modulate(&input, &drive);
+        assert!((out.mean_power_w() / input.mean_power_w() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_extinction_ratio_leaks_at_null() {
+        let m = MachZehnderModulator::new(MzmConfig {
+            extinction_ratio_db: 20.0,
+            ..MzmConfig::ideal()
+        });
+        let t = m.power_transmission(0.0);
+        assert!((t - 0.01).abs() < 1e-6, "leakage {t}");
+    }
+
+    #[test]
+    fn mzm_energy_accounting() {
+        let mut m = MachZehnderModulator::new(MzmConfig {
+            drive_energy_j: 50e-15,
+            ..MzmConfig::ideal()
+        });
+        let input = cw(100);
+        let drive = AnalogWaveform::zeros(100, RATE);
+        m.modulate(&input, &drive);
+        assert!((m.energy_consumed_j() - 100.0 * 50e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mzm_rejects_mismatched_lengths() {
+        let mut m = MachZehnderModulator::new(MzmConfig::ideal());
+        let input = cw(4);
+        let drive = AnalogWaveform::zeros(3, RATE);
+        m.modulate(&input, &drive);
+    }
+
+    #[test]
+    fn phase_modulator_encodes_phase_not_power() {
+        let mut pm = PhaseModulator::new(PhaseModulatorConfig::ideal());
+        let input = cw(1);
+        let drive = AnalogWaveform::new(vec![pm.drive_for_phase(1.1)], RATE);
+        let out = pm.modulate(&input, &drive);
+        assert!((out.samples[0].arg() - 1.1).abs() < 1e-12);
+        assert!((out.power_at(0) - input.power_at(0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn phase_modulator_pi_inverts_field() {
+        let mut pm = PhaseModulator::new(PhaseModulatorConfig::ideal());
+        let input = cw(1);
+        let drive = AnalogWaveform::new(vec![pm.drive_for_phase(std::f64::consts::PI)], RATE);
+        let out = pm.modulate(&input, &drive);
+        // e^{iπ} = −1: destructive with the original.
+        let sum = out.samples[0] + input.samples[0];
+        assert!(sum.norm_sqr() < 1e-18);
+    }
+
+    #[test]
+    fn bandwidth_limit_smears_fast_drive() {
+        let mut fast = MachZehnderModulator::new(MzmConfig {
+            bandwidth_hz: 1e9, // far below the 10 GHz sample rate
+            ..MzmConfig::ideal()
+        });
+        let mut ideal = MachZehnderModulator::new(MzmConfig::ideal());
+        let input = cw(64);
+        let v_full = fast.drive_for_transmission(1.0);
+        let drive = AnalogWaveform::new(
+            (0..64).map(|i| if i % 2 == 0 { v_full } else { 0.0 }).collect(),
+            RATE,
+        );
+        let out_bw = fast.modulate(&input, &drive);
+        let out_ideal = ideal.modulate(&input, &drive);
+        // Band-limited drive can't reach the full on/off swing. Judge the
+        // steady state (skip the filter's startup transient).
+        let swing = |f: &OpticalField| {
+            let tail: Vec<f64> = f.samples[32..].iter().map(|s| s.norm_sqr()).collect();
+            tail.iter().fold(0.0f64, |m, &p| m.max(p))
+                - tail.iter().fold(f64::MAX, |m, &p| m.min(p))
+        };
+        let (swing_bw, swing_ideal) = (swing(&out_bw), swing(&out_ideal));
+        assert!(swing_bw < 0.5 * swing_ideal, "swing {swing_bw} vs {swing_ideal}");
+    }
+}

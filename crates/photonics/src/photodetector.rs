@@ -1,0 +1,303 @@
+//! PIN photodetector.
+//!
+//! The summation device of the P1 primitive (Fig. 2a) and the receive-path
+//! front end of every transponder (Fig. 3/4). Converts optical power to
+//! photocurrent `I = R·P`, then adds the receiver noise triplet: shot
+//! noise on the instantaneous current, thermal noise of the load, and
+//! dark current. Square-law detection is what discards phase — tests
+//! verify that phase-only modulation is invisible to a photodetector,
+//! which is exactly why the P2 matcher needs interference *before* the
+//! detector.
+
+use crate::noise;
+use crate::rng::SimRng;
+use crate::signal::{AnalogWaveform, OpticalField};
+use crate::units;
+
+/// Configuration of a PIN photodetector front end.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PhotodetectorConfig {
+    /// Responsivity, A/W (InGaAs at 1550 nm: ~0.9–1.1).
+    pub responsivity_a_w: f64,
+    /// Electrical 3-dB bandwidth, Hz (0 = track the sample rate).
+    pub bandwidth_hz: f64,
+    /// Load resistance for thermal noise, ohms.
+    pub load_ohms: f64,
+    /// Dark current, A.
+    pub dark_current_a: f64,
+    /// Receiver temperature, K.
+    pub temperature_k: f64,
+    /// Enable shot noise.
+    pub shot_noise: bool,
+    /// Enable thermal noise.
+    pub thermal_noise: bool,
+    /// Static power draw of the TIA stage, W (energy accounting).
+    pub tia_power_w: f64,
+}
+
+impl PhotodetectorConfig {
+    /// Noiseless detector for calibration and algebra tests.
+    pub fn ideal() -> Self {
+        PhotodetectorConfig {
+            responsivity_a_w: 1.0,
+            bandwidth_hz: 0.0,
+            load_ohms: 50.0,
+            dark_current_a: 0.0,
+            temperature_k: units::ROOM_TEMP_K,
+            shot_noise: false,
+            thermal_noise: false,
+            tia_power_w: 0.0,
+        }
+    }
+}
+
+impl Default for PhotodetectorConfig {
+    fn default() -> Self {
+        PhotodetectorConfig {
+            responsivity_a_w: 1.0,
+            bandwidth_hz: 40e9,
+            load_ohms: 50.0,
+            dark_current_a: 5e-9,
+            temperature_k: units::ROOM_TEMP_K,
+            shot_noise: true,
+            thermal_noise: true,
+            tia_power_w: 0.5,
+        }
+    }
+}
+
+/// A PIN photodetector with its receiver noise processes.
+#[derive(Debug, Clone)]
+pub struct Photodetector {
+    pub config: PhotodetectorConfig,
+    rng: SimRng,
+    /// Seconds of signal detected so far (drives TIA energy accounting).
+    pub seconds_active: f64,
+}
+
+impl Photodetector {
+    pub fn new(config: PhotodetectorConfig, rng: SimRng) -> Self {
+        Photodetector {
+            config,
+            rng,
+            seconds_active: 0.0,
+        }
+    }
+
+    /// Ideal noiseless detector.
+    pub fn ideal() -> Self {
+        Photodetector::new(PhotodetectorConfig::ideal(), SimRng::seed_from_u64(0))
+    }
+
+    /// Effective noise bandwidth for a block at `sample_rate_hz`.
+    fn noise_bandwidth(&self, sample_rate_hz: f64) -> f64 {
+        if self.config.bandwidth_hz > 0.0 {
+            self.config.bandwidth_hz.min(sample_rate_hz / 2.0)
+        } else {
+            sample_rate_hz / 2.0
+        }
+    }
+
+    /// Detect an optical field block, producing a photocurrent waveform
+    /// (amps). Square-law: `i[n] = R·|e[n]|² + I_dark + noise`.
+    pub fn detect(&mut self, input: &OpticalField) -> AnalogWaveform {
+        let bw = self.noise_bandwidth(input.sample_rate_hz);
+        let mut out = AnalogWaveform::zeros(input.len(), input.sample_rate_hz);
+        let thermal_sigma = if self.config.thermal_noise {
+            noise::thermal_noise_sigma_a(self.config.load_ohms, bw, self.config.temperature_k)
+        } else {
+            0.0
+        };
+        for (o, s) in out.samples.iter_mut().zip(input.samples.iter()) {
+            let mut i = self.config.responsivity_a_w * s.norm_sqr() + self.config.dark_current_a;
+            if self.config.shot_noise {
+                let sigma = noise::shot_noise_sigma_a(i, bw);
+                i += self.rng.normal(0.0, sigma);
+            }
+            if thermal_sigma > 0.0 {
+                i += self.rng.normal(0.0, thermal_sigma);
+            }
+            *o = i;
+        }
+        if self.config.bandwidth_hz > 0.0 {
+            out.lowpass(self.config.bandwidth_hz);
+        }
+        self.seconds_active += input.duration_s();
+        out
+    }
+
+    /// Mean photocurrent that a CW input of `power_w` would produce, A.
+    pub fn expected_current_a(&self, power_w: f64) -> f64 {
+        self.config.responsivity_a_w * power_w + self.config.dark_current_a
+    }
+
+    /// Receiver SNR (dB) for a CW optical input of `power_w` over the
+    /// configured bandwidth — used by precision analysis to predict the
+    /// effective bit width of P1 results.
+    pub fn snr_db(&self, power_w: f64, sample_rate_hz: f64) -> f64 {
+        let bw = self.noise_bandwidth(sample_rate_hz);
+        let i_sig = self.config.responsivity_a_w * power_w;
+        let mut noise_var = 0.0;
+        if self.config.shot_noise {
+            noise_var += noise::shot_noise_sigma_a(i_sig + self.config.dark_current_a, bw).powi(2);
+        }
+        if self.config.thermal_noise {
+            noise_var +=
+                noise::thermal_noise_sigma_a(self.config.load_ohms, bw, self.config.temperature_k)
+                    .powi(2);
+        }
+        noise::snr_db(i_sig * i_sig, noise_var)
+    }
+
+    /// TIA energy consumed so far, J.
+    pub fn energy_consumed_j(&self) -> f64 {
+        self.seconds_active * self.config.tia_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    const RATE: f64 = 10e9;
+    const WL: f64 = units::C_BAND_WAVELENGTH_M;
+
+    #[test]
+    fn ideal_detection_is_linear_in_power() {
+        let mut pd = Photodetector::ideal();
+        let f1 = OpticalField::cw(8, 1e-3, RATE, WL);
+        let f2 = OpticalField::cw(8, 2e-3, RATE, WL);
+        let i1 = pd.detect(&f1).mean();
+        let i2 = pd.detect(&f2).mean();
+        assert!((i1 - 1e-3).abs() < 1e-15);
+        assert!((i2 / i1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_law_discards_phase() {
+        // Phase-modulated light at constant power is indistinguishable
+        // from unmodulated light — the motivation for interference-based
+        // pattern matching (Fig. 2b).
+        let mut pd = Photodetector::ideal();
+        let mut f = OpticalField::cw(16, 1e-3, RATE, WL);
+        for (i, s) in f.samples.iter_mut().enumerate() {
+            *s = s.rotate(i as f64 * 0.7);
+        }
+        let out = pd.detect(&f);
+        for &i in &out.samples {
+            assert!((i - 1e-3).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn interference_is_visible_after_combining() {
+        let mut pd = Photodetector::ideal();
+        let a = Complex::new(1e-3f64.sqrt(), 0.0);
+        let constructive = OpticalField {
+            samples: vec![a + a],
+            sample_rate_hz: RATE,
+            wavelength_m: WL,
+        };
+        let destructive = OpticalField {
+            samples: vec![a - a],
+            sample_rate_hz: RATE,
+            wavelength_m: WL,
+        };
+        let ic = pd.detect(&constructive).samples[0];
+        let id = pd.detect(&destructive).samples[0];
+        assert!((ic - 4e-3).abs() < 1e-15);
+        assert!(id < 1e-15);
+    }
+
+    #[test]
+    fn dark_current_adds_offset() {
+        let mut pd = Photodetector::new(
+            PhotodetectorConfig {
+                dark_current_a: 1e-6,
+                ..PhotodetectorConfig::ideal()
+            },
+            SimRng::seed_from_u64(0),
+        );
+        let f = OpticalField::dark(4, RATE, WL);
+        let out = pd.detect(&f);
+        for &i in &out.samples {
+            assert!((i - 1e-6).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn shot_noise_variance_tracks_theory() {
+        let mut pd = Photodetector::new(
+            PhotodetectorConfig {
+                shot_noise: true,
+                thermal_noise: false,
+                bandwidth_hz: 0.0,
+                ..PhotodetectorConfig::ideal()
+            },
+            SimRng::seed_from_u64(1),
+        );
+        let f = OpticalField::cw(40_000, 1e-3, RATE, WL);
+        let out = pd.detect(&f);
+        let mean = out.mean();
+        let var = out.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / out.len() as f64;
+        let expect = noise::shot_noise_sigma_a(1e-3, RATE / 2.0);
+        assert!(
+            (var.sqrt() - expect).abs() / expect < 0.05,
+            "sigma {} expect {expect}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn thermal_noise_dominates_at_low_power() {
+        let cfg = PhotodetectorConfig {
+            shot_noise: true,
+            thermal_noise: true,
+            bandwidth_hz: 0.0,
+            ..PhotodetectorConfig::ideal()
+        };
+        let pd = Photodetector::new(cfg, SimRng::seed_from_u64(2));
+        // At -40 dBm the thermal term should dwarf shot noise.
+        let p = units::dbm_to_watts(-40.0);
+        let shot = noise::shot_noise_sigma_a(p, RATE / 2.0);
+        let thermal = noise::thermal_noise_sigma_a(50.0, RATE / 2.0, units::ROOM_TEMP_K);
+        assert!(thermal > 5.0 * shot);
+        // And the predicted SNR should be finite and modest.
+        let snr = pd.snr_db(p, RATE);
+        assert!(snr < 30.0, "snr {snr}");
+    }
+
+    #[test]
+    fn snr_improves_with_power() {
+        let pd = Photodetector::new(PhotodetectorConfig::default(), SimRng::seed_from_u64(3));
+        let lo = pd.snr_db(units::dbm_to_watts(-30.0), RATE);
+        let hi = pd.snr_db(units::dbm_to_watts(0.0), RATE);
+        assert!(hi > lo + 20.0, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn energy_accounting_accumulates() {
+        let mut pd = Photodetector::new(
+            PhotodetectorConfig {
+                tia_power_w: 0.5,
+                ..PhotodetectorConfig::ideal()
+            },
+            SimRng::seed_from_u64(0),
+        );
+        let f = OpticalField::cw(10_000, 1e-3, RATE, WL);
+        pd.detect(&f);
+        let expect = 0.5 * 10_000.0 / RATE;
+        assert!((pd.energy_consumed_j() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_is_deterministic_per_seed() {
+        let cfg = PhotodetectorConfig::default();
+        let mut a = Photodetector::new(cfg.clone(), SimRng::seed_from_u64(9));
+        let mut b = Photodetector::new(cfg, SimRng::seed_from_u64(9));
+        let f = OpticalField::cw(64, 1e-3, RATE, WL);
+        assert_eq!(a.detect(&f).samples, b.detect(&f).samples);
+    }
+}

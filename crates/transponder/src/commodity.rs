@@ -1,0 +1,167 @@
+//! The commodity transponder of Fig. 3: a TX path and an RX path, no
+//! compute. This is both the baseline device of experiment E3 and the
+//! regeneration stage every node (compute-capable or not) uses to put
+//! frames back on the next fiber span.
+
+use crate::frame::{Frame, FrameError};
+use crate::rxpath::{RxConfig, RxPath};
+use crate::txpath::{TxConfig, TxPath};
+use ofpc_photonics::energy::EnergyLedger;
+use ofpc_photonics::fiber::FiberSpan;
+use ofpc_photonics::signal::OpticalField;
+use ofpc_photonics::SimRng;
+
+/// A commodity optical transponder (Fig. 3).
+#[derive(Debug, Clone)]
+pub struct CommodityTransponder {
+    pub tx: TxPath,
+    pub rx: RxPath,
+    pub frames_sent: u64,
+    pub frames_received: u64,
+    pub crc_failures: u64,
+}
+
+impl CommodityTransponder {
+    pub fn new(tx_config: TxConfig, rx_config: RxConfig, rng: &mut SimRng) -> Self {
+        let tx = TxPath::new(tx_config, rng);
+        let rx = RxPath::new(rx_config, rng);
+        CommodityTransponder {
+            tx,
+            rx,
+            frames_sent: 0,
+            frames_received: 0,
+            crc_failures: 0,
+        }
+    }
+
+    /// Ideal loopback-grade transponder.
+    pub fn ideal(rng: &mut SimRng) -> Self {
+        let mut t = CommodityTransponder::new(TxConfig::ideal(), RxConfig::ideal(), rng);
+        t.rx.calibrate_for_one_level(t.tx.one_level_w());
+        t
+    }
+
+    /// Realistic transponder, receiver calibrated for a link of
+    /// `link_loss_db` between peer TX and this RX.
+    pub fn realistic(link_loss_db: f64, rng: &mut SimRng) -> Self {
+        let mut t = CommodityTransponder::new(TxConfig::realistic(), RxConfig::realistic(), rng);
+        let rx_power = t.tx.one_level_w() * ofpc_photonics::units::db_to_linear(-link_loss_db);
+        t.rx.calibrate_for_one_level(rx_power);
+        t
+    }
+
+    /// Serialize and modulate a frame onto light.
+    pub fn transmit_frame(&mut self, frame: &Frame) -> OpticalField {
+        self.frames_sent += 1;
+        self.tx.transmit(&frame.to_bits())
+    }
+
+    /// Detect, slice, and parse a frame from light.
+    pub fn receive_frame(&mut self, field: &OpticalField) -> Result<Frame, FrameError> {
+        let bits = self.rx.receive(field);
+        let off = Frame::find_preamble(&bits).ok_or(FrameError::BadPreamble(0))?;
+        match Frame::from_bits(&bits[off..]) {
+            Ok((frame, _)) => {
+                self.frames_received += 1;
+                Ok(frame)
+            }
+            Err(e) => {
+                if matches!(e, FrameError::BadCrc { .. }) {
+                    self.crc_failures += 1;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Serialization latency of a frame at the line rate, seconds.
+    pub fn frame_latency_s(&self, frame: &Frame) -> f64 {
+        frame.line_bits() as f64 / self.tx.config.line_rate_bps
+    }
+
+    /// Combined energy ledger.
+    pub fn energy_ledger(&self) -> EnergyLedger {
+        let mut ledger = self.tx.energy_ledger();
+        ledger.merge(&self.rx.energy_ledger());
+        ledger
+    }
+}
+
+/// Send `frame` from `a` to `b` across `span`, returning the received
+/// frame (or error) and the one-way latency in seconds.
+pub fn send_over_span(
+    a: &mut CommodityTransponder,
+    b: &mut CommodityTransponder,
+    span: &FiberSpan,
+    frame: &Frame,
+) -> (Result<Frame, FrameError>, f64) {
+    let field = a.transmit_frame(frame);
+    let received = span.propagate(&field);
+    let latency = span.delay_s() + a.frame_latency_s(frame);
+    (b.receive_frame(&received), latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_frame_round_trip() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut t = CommodityTransponder::ideal(&mut rng);
+        let frame = Frame::data(&b"the quick brown photon"[..]);
+        let field = t.transmit_frame(&frame);
+        let got = t.receive_frame(&field).unwrap();
+        assert_eq!(got, frame);
+        assert_eq!(t.frames_sent, 1);
+        assert_eq!(t.frames_received, 1);
+    }
+
+    #[test]
+    fn span_transfer_with_matched_calibration() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let span = FiberSpan::compensated(40.0);
+        let mut a = CommodityTransponder::ideal(&mut rng);
+        let mut b = CommodityTransponder::new(TxConfig::ideal(), RxConfig::ideal(), &mut rng);
+        b.rx.calibrate_for_one_level(
+            a.tx.one_level_w() * ofpc_photonics::units::db_to_linear(-span.total_loss_db()),
+        );
+        let frame = Frame::compute(1, &[9u8, 8, 7][..]);
+        let (got, latency) = send_over_span(&mut a, &mut b, &span, &frame);
+        assert_eq!(got.unwrap(), frame);
+        // 40 km ≈ 196 µs of flight plus serialization.
+        assert!(latency > 1.9e-4 && latency < 2.1e-4, "latency {latency}");
+    }
+
+    #[test]
+    fn realistic_link_survives_metro_distance() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let span = FiberSpan::compensated(40.0);
+        let mut a = CommodityTransponder::realistic(0.0, &mut rng);
+        let mut b = CommodityTransponder::realistic(span.total_loss_db(), &mut rng);
+        let frame = Frame::data(&b"metro hop payload 123456"[..]);
+        let (got, _) = send_over_span(&mut a, &mut b, &span, &frame);
+        assert_eq!(got.unwrap(), frame);
+    }
+
+    #[test]
+    fn unlit_fiber_yields_no_frame() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut t = CommodityTransponder::ideal(&mut rng);
+        let dark = OpticalField::dark(256, 32e9, 1550e-9);
+        assert!(t.receive_frame(&dark).is_err());
+        assert_eq!(t.frames_received, 0);
+    }
+
+    #[test]
+    fn energy_ledger_spans_both_paths() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut t = CommodityTransponder::realistic(0.0, &mut rng);
+        let frame = Frame::data(&b"energy"[..]);
+        let field = t.transmit_frame(&frame);
+        let _ = t.receive_frame(&field);
+        let ledger = t.energy_ledger();
+        assert!(ledger.get("tx-dac") > 0.0);
+        assert!(ledger.get("rx-adc") > 0.0);
+    }
+}

@@ -1,0 +1,1 @@
+//! Workspace root crate: see `examples/` and `tests/`.

@@ -1,0 +1,89 @@
+//! Replay tests: every layer of the stack must be bit-for-bit
+//! reproducible per seed (DESIGN.md decision 1). These tests run the
+//! same scenario twice through fresh state and require identical
+//! results, including the stochastic (noisy) configurations.
+
+use ofpc_core::scenario::Fig1Scenario;
+use ofpc_engine::dot::{DotProductUnit, DotUnitConfig};
+use ofpc_engine::matcher::{MatcherConfig, PatternMatcher};
+use ofpc_photonics::SimRng;
+use ofpc_transponder::ber::measure_ber;
+use ofpc_transponder::commodity::CommodityTransponder;
+
+#[test]
+fn noisy_dot_product_replays() {
+    let run = || {
+        let mut rng = SimRng::seed_from_u64(101);
+        let mut unit = DotProductUnit::new(DotUnitConfig::realistic(), &mut rng);
+        unit.calibrate(128);
+        (0..10)
+            .map(|i| unit.dot_nonneg(&vec![0.3 + 0.05 * i as f64; 32], &vec![0.6; 32]))
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn noisy_matcher_replays() {
+    let run = || {
+        let mut rng = SimRng::seed_from_u64(102);
+        let mut m = PatternMatcher::new(MatcherConfig::realistic(), &mut rng);
+        m.calibrate(128);
+        let pattern: Vec<bool> = (0..64).map(|i| i % 5 < 2).collect();
+        (0..10)
+            .map(|i| {
+                let mut data = pattern.clone();
+                data[i * 3 % 64] = !data[i * 3 % 64];
+                m.match_block(&data, &pattern).distance_estimate
+            })
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn ber_measurement_replays() {
+    let run = || {
+        let mut rng = SimRng::seed_from_u64(103);
+        let span = ofpc_photonics::fiber::FiberSpan::smf(120.0);
+        let mut a = CommodityTransponder::realistic(0.0, &mut rng);
+        let mut b = CommodityTransponder::realistic(span.total_loss_db(), &mut rng);
+        measure_ber(&mut a, &mut b, &span, 2_000, &mut rng)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn full_scenario_replays() {
+    let run = || {
+        let mut s = Fig1Scenario::build(104);
+        let mut rng = SimRng::seed_from_u64(104);
+        s.inject_traffic(15, 0, 750_000, &mut rng);
+        s.run();
+        s.system
+            .net
+            .stats
+            .delivered
+            .iter()
+            .map(|r| (r.packet_id, r.delivered_ps, r.computed, r.hops))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Anti-test: seeds must actually matter for noisy paths. Use the
+    // matcher's continuous distance estimate (the dot product's ADC
+    // quantization can collapse nearby values to the same code).
+    let run = |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut m = PatternMatcher::new(MatcherConfig::realistic(), &mut rng);
+        m.calibrate(128);
+        let pattern: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        (0..5)
+            .map(|_| m.match_block(&pattern, &pattern).distance_estimate)
+            .collect::<Vec<f64>>()
+    };
+    assert_ne!(run(1), run(2));
+}
