@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints (warnings are errors), and the full test
+# suite. Everything runs offline against the vendored deps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --offline --workspace -q
+
+echo "CI green."

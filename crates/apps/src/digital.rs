@@ -236,7 +236,8 @@ mod tests {
             ..small.clone()
         };
         let edge_small = small.latency_s(&Placement::EndDevice, &ComputeModel::edge_soc());
-        let cloud_small = small.latency_s(&Placement::Cloud { detour_km: 400.0 }, &ComputeModel::tpu());
+        let cloud_small =
+            small.latency_s(&Placement::Cloud { detour_km: 400.0 }, &ComputeModel::tpu());
         assert!(edge_small < cloud_small, "small models favor the edge");
         let edge_big = big.latency_s(&Placement::EndDevice, &ComputeModel::edge_soc());
         let cloud_big = big.latency_s(&Placement::Cloud { detour_km: 400.0 }, &ComputeModel::tpu());

@@ -162,7 +162,10 @@ impl PhotonicCipher {
         // modulator in a coherent system).
         let data_drive = AnalogWaveform::new(
             data.iter()
-                .map(|&b| self.pm.drive_for_phase(if b { std::f64::consts::PI } else { 0.0 }))
+                .map(|&b| {
+                    self.pm
+                        .drive_for_phase(if b { std::f64::consts::PI } else { 0.0 })
+                })
                 .collect(),
             self.sample_rate_hz,
         );
@@ -173,7 +176,10 @@ impl PhotonicCipher {
         let key_drive = AnalogWaveform::new(
             key_bits
                 .iter()
-                .map(|&b| self.pm.drive_for_phase(if b { std::f64::consts::PI } else { 0.0 }))
+                .map(|&b| {
+                    self.pm
+                        .drive_for_phase(if b { std::f64::consts::PI } else { 0.0 })
+                })
                 .collect(),
             self.sample_rate_hz,
         );
@@ -192,8 +198,8 @@ impl PhotonicCipher {
             .map(|(&ph, k)| {
                 let ph = ph + if k { std::f64::consts::PI } else { 0.0 };
                 // Phase near π (mod 2π) = bit 1.
-                let wrapped = (ph % std::f64::consts::TAU + std::f64::consts::TAU)
-                    % std::f64::consts::TAU;
+                let wrapped =
+                    (ph % std::f64::consts::TAU + std::f64::consts::TAU) % std::f64::consts::TAU;
                 (wrapped - std::f64::consts::PI).abs() < std::f64::consts::FRAC_PI_2
             })
             .collect()
@@ -211,7 +217,10 @@ pub fn bits_of(bytes: &[u8]) -> Vec<bool> {
 }
 
 pub fn bytes_of(bits: &[bool]) -> Vec<u8> {
-    assert!(bits.len().is_multiple_of(8), "bit count must be a multiple of 8");
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a multiple of 8"
+    );
     bits.chunks(8)
         .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
         .collect()
@@ -276,8 +285,7 @@ mod tests {
         let flipped = phases
             .iter()
             .filter(|&&p| {
-                let w = (p % std::f64::consts::TAU + std::f64::consts::TAU)
-                    % std::f64::consts::TAU;
+                let w = (p % std::f64::consts::TAU + std::f64::consts::TAU) % std::f64::consts::TAU;
                 (w - std::f64::consts::PI).abs() < 0.1
             })
             .count();

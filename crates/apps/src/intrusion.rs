@@ -218,9 +218,18 @@ mod tests {
         assert_eq!(
             hits,
             vec![
-                SigHit { offset: 2, signature: 0 },
-                SigHit { offset: 10, signature: 1 },
-                SigHit { offset: 16, signature: 0 },
+                SigHit {
+                    offset: 2,
+                    signature: 0
+                },
+                SigHit {
+                    offset: 10,
+                    signature: 1
+                },
+                SigHit {
+                    offset: 16,
+                    signature: 0
+                },
             ]
         );
     }
@@ -232,9 +241,18 @@ mod tests {
         let mut ac = AhoCorasick::new(&sigs);
         let hits = ac.scan(b"USHERS");
         let expect: Vec<SigHit> = vec![
-            SigHit { offset: 1, signature: 1 }, // SHE @1
-            SigHit { offset: 2, signature: 0 }, // HE @2
-            SigHit { offset: 2, signature: 2 }, // HERS @2
+            SigHit {
+                offset: 1,
+                signature: 1,
+            }, // SHE @1
+            SigHit {
+                offset: 2,
+                signature: 0,
+            }, // HE @2
+            SigHit {
+                offset: 2,
+                signature: 2,
+            }, // HERS @2
         ];
         assert_eq!(hits, expect);
     }

@@ -26,6 +26,6 @@ pub mod intrusion;
 pub mod iprouting;
 pub mod loadbalance;
 pub mod mimo;
-pub mod secure_match;
 pub mod ml;
+pub mod secure_match;
 pub mod video;

@@ -170,7 +170,12 @@ pub fn run_lb(
             },
         );
         for _ in 0..packets_per_flowlet {
-            let p = Packet::data(Network::node_addr(a, 1), dst, fg_id, vec![0u8; payload_bytes]);
+            let p = Packet::data(
+                Network::node_addr(a, 1),
+                dst,
+                fg_id,
+                vec![0u8; payload_bytes],
+            );
             net.inject(t, a, p);
             fg_id += 1;
             t += gap_ps;

@@ -50,9 +50,7 @@ pub fn random_symbols(n_tx: usize, rng: &mut SimRng) -> (Vec<bool>, Vec<f64>) {
 pub fn transmit(h: &Mat, x: &[f64], snr_db: f64, rng: &mut SimRng) -> Vec<f64> {
     let sigma = (10f64.powf(-snr_db / 10.0) / 2.0).sqrt();
     h.iter()
-        .map(|row| {
-            row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + rng.normal(0.0, sigma)
-        })
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + rng.normal(0.0, sigma))
         .collect()
 }
 
@@ -200,10 +198,7 @@ mod tests {
     #[test]
     #[allow(clippy::needless_range_loop)]
     fn invert_recovers_identity() {
-        let m = vec![
-            vec![4.0, 7.0],
-            vec![2.0, 6.0],
-        ];
+        let m = vec![vec![4.0, 7.0], vec![2.0, 6.0]];
         let inv = invert(&m);
         let id = matmul(&m, &inv);
         for i in 0..2 {

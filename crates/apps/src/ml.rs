@@ -62,8 +62,7 @@ pub fn synthetic_glyphs(n_per_class: usize, noise: f64, rng: &mut SimRng) -> Dat
                         _ => row_hit || col_hit,
                     };
                     let base = if lit { 1.0 } else { 0.0 };
-                    img[i * side + j] =
-                        (base + rng.normal(0.0, noise)).clamp(0.0, 1.0);
+                    img[i * side + j] = (base + rng.normal(0.0, noise)).clamp(0.0, 1.0);
                 }
             }
             images.push(img);
@@ -215,7 +214,11 @@ fn sgd_step(mlp: &mut Mlp, x: &[f64], label: usize, lr: f64, act: &TrainActivati
             Vec::new()
         };
         let layer = &mut mlp.layers[li];
-        for (row, (&d, b)) in layer.weights.iter_mut().zip(delta.iter().zip(&mut layer.bias)) {
+        for (row, (&d, b)) in layer
+            .weights
+            .iter_mut()
+            .zip(delta.iter().zip(&mut layer.bias))
+        {
             for (w, &a) in row.iter_mut().zip(&a_in) {
                 *w -= lr * d * a;
             }
@@ -278,12 +281,7 @@ pub fn accuracy_photonic(pdnn: &mut PhotonicDnn, data: &Dataset) -> f64 {
 
 /// Build the photonics-aware deployment of a curve-trained network: the
 /// engine runs with exactly the training scale.
-pub fn deploy_curve_trained(
-    mlp: &Mlp,
-    scale: f64,
-    lanes: usize,
-    rng: &mut SimRng,
-) -> PhotonicDnn {
+pub fn deploy_curve_trained(mlp: &Mlp, scale: f64, lanes: usize, rng: &mut SimRng) -> PhotonicDnn {
     let mut engine = PhotonicMatVec::new(ofpc_engine::dot::DotUnitConfig::ideal(), lanes, rng);
     engine.calibrate(64);
     let act = NonlinearUnit::ideal();
@@ -310,7 +308,11 @@ mod tests {
         assert_eq!(d1.images, d2.images);
         assert_eq!(d1.len(), 20);
         assert_eq!(d1.classes, 4);
-        assert!(d1.images.iter().flatten().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(d1
+            .images
+            .iter()
+            .flatten()
+            .all(|&p| (0.0..=1.0).contains(&p)));
         // All four classes present.
         let mut seen = [false; 4];
         for &l in &d1.labels {

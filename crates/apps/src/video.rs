@@ -54,7 +54,11 @@ pub fn quant_table(quality: f64) -> Vec<Vec<f64>> {
         [72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0],
     ];
     BASE.iter()
-        .map(|row| row.iter().map(|&v| (v / quality / 255.0).max(1e-3)).collect())
+        .map(|row| {
+            row.iter()
+                .map(|&v| (v / quality / 255.0).max(1e-3))
+                .collect()
+        })
         .collect()
 }
 
@@ -218,7 +222,12 @@ pub fn decode_block(enc: &EncodedBlock, quality: f64) -> Vec<Vec<f64>> {
 
 /// A synthetic frame: smooth gradient plus a moving bright square —
 /// compressible structure with edges (stand-in for real video content).
-pub fn synthetic_frame(width: usize, height: usize, phase: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+pub fn synthetic_frame(
+    width: usize,
+    height: usize,
+    phase: usize,
+    rng: &mut SimRng,
+) -> Vec<Vec<f64>> {
     let mut f = vec![vec![0.0; width]; height];
     let sq = 8 + (phase * 4) % width.saturating_sub(16).max(1);
     for (i, row) in f.iter_mut().enumerate() {
@@ -257,13 +266,14 @@ pub fn psnr(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
 pub fn encode_frame(frame: &[Vec<f64>], quality: f64, tf: &mut Transform) -> Vec<EncodedBlock> {
     let h = frame.len();
     let w = frame[0].len();
-    assert!(h.is_multiple_of(B) && w.is_multiple_of(B), "frame dims must be multiples of 8");
+    assert!(
+        h.is_multiple_of(B) && w.is_multiple_of(B),
+        "frame dims must be multiples of 8"
+    );
     let mut out = Vec::new();
     for bi in (0..h).step_by(B) {
         for bj in (0..w).step_by(B) {
-            let block: Vec<Vec<f64>> = (0..B)
-                .map(|i| frame[bi + i][bj..bj + B].to_vec())
-                .collect();
+            let block: Vec<Vec<f64>> = (0..B).map(|i| frame[bi + i][bj..bj + B].to_vec()).collect();
             out.push(encode_block(&block, quality, tf));
         }
     }
@@ -397,8 +407,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let frame = synthetic_frame(32, 16, 1, &mut rng);
         let mut tf = Transform::Digital;
-        let hi: usize = encode_frame(&frame, 1.0, &mut tf).iter().map(|b| b.bytes()).sum();
-        let lo: usize = encode_frame(&frame, 0.2, &mut tf).iter().map(|b| b.bytes()).sum();
+        let hi: usize = encode_frame(&frame, 1.0, &mut tf)
+            .iter()
+            .map(|b| b.bytes())
+            .sum();
+        let lo: usize = encode_frame(&frame, 0.2, &mut tf)
+            .iter()
+            .map(|b| b.bytes())
+            .sum();
         assert!(lo < hi, "lo {lo} hi {hi}");
         // And both beat raw (512 pixels × 1 byte).
         assert!(lo < 512);

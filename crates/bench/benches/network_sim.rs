@@ -16,7 +16,14 @@ fn run_batch(topo: Topology, compute: bool, packets: usize) -> usize {
     net.install_shortest_path_routes();
     let last = NodeId(net.topo.node_count() as u32 - 1);
     if compute {
-        net.add_engine(NodeId(1), 1, OpSpec::Dot { weights: vec![0.5; 16] }, 0.0);
+        net.add_engine(
+            NodeId(1),
+            1,
+            OpSpec::Dot {
+                weights: vec![0.5; 16],
+            },
+            0.0,
+        );
         net.install_compute_detour(Primitive::VectorDotProduct, NodeId(1));
     }
     for i in 0..packets {
@@ -50,12 +57,24 @@ fn bench_sim(c: &mut Criterion) {
     for (name, topo_fn, compute) in [
         ("fig1_plain", Topology::fig1 as fn() -> Topology, false),
         ("fig1_compute", Topology::fig1 as fn() -> Topology, true),
-        ("abilene_plain", Topology::abilene as fn() -> Topology, false),
-        ("abilene_compute", Topology::abilene as fn() -> Topology, true),
+        (
+            "abilene_plain",
+            Topology::abilene as fn() -> Topology,
+            false,
+        ),
+        (
+            "abilene_compute",
+            Topology::abilene as fn() -> Topology,
+            true,
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &compute, |b, &compute| {
-            b.iter(|| black_box(run_batch(topo_fn(), compute, packets)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &compute,
+            |b, &compute| {
+                b.iter(|| black_box(run_batch(topo_fn(), compute, packets)));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,98 @@
+//! Criterion bench: serving-runtime event-loop throughput.
+//!
+//! Measures simulated requests processed per wall-clock second through
+//! the full admission → batching → EDF-dispatch pipeline, batched vs
+//! unbatched, at a load just past the saturation knee — the number that
+//! bounds how long the E12 sweep takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofpc_engine::Primitive;
+use ofpc_net::NodeId;
+use ofpc_serve::{
+    ArrivalSpec, BatchPolicy, ServeConfig, ServeRuntime, ServiceModel, SiteSpec, TenantSpec,
+};
+use ofpc_transponder::compute::ComputeTransponderConfig;
+use std::hint::black_box;
+
+const HORIZON_PS: u64 = 500_000_000; // 0.5 ms of virtual time
+const RATE_RPS: f64 = 16_000_000.0;
+
+fn config(batching: bool) -> ServeConfig {
+    ServeConfig {
+        seed: 7,
+        horizon_ps: HORIZON_PS,
+        drain_grace_ps: 200_000_000,
+        batch: if batching {
+            BatchPolicy {
+                max_batch: 8,
+                max_wait_ps: 5_000_000,
+            }
+        } else {
+            BatchPolicy::disabled()
+        },
+        tenants: vec![
+            TenantSpec {
+                name: "a".to_string(),
+                weight: 3,
+                queue_capacity: 96,
+                arrivals: ArrivalSpec::Poisson {
+                    rate_rps: RATE_RPS / 2.0,
+                },
+                primitive: Primitive::VectorDotProduct,
+                operand_len: 2048,
+                deadline_ps: 1_000_000_000,
+            },
+            TenantSpec {
+                name: "b".to_string(),
+                weight: 1,
+                queue_capacity: 32,
+                arrivals: ArrivalSpec::Poisson {
+                    rate_rps: RATE_RPS / 2.0,
+                },
+                primitive: Primitive::VectorDotProduct,
+                operand_len: 2048,
+                deadline_ps: 1_000_000_000,
+            },
+        ],
+        verify_every: 0,
+    }
+}
+
+fn runtime(batching: bool) -> ServeRuntime {
+    let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+    let sites = vec![
+        SiteSpec {
+            node: NodeId(1),
+            slots: 1,
+            access_ps: 100_000,
+        },
+        SiteSpec {
+            node: NodeId(2),
+            slots: 1,
+            access_ps: 200_000,
+        },
+    ];
+    ServeRuntime::new(config(batching), model, sites)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // Arrival count is seed-determined; measure once for the throughput
+    // denominator.
+    let arrivals = runtime(true).run().arrivals;
+    let mut group = c.benchmark_group("serve_runtime");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(arrivals));
+    for batching in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("run", if batching { "batched" } else { "unbatched" }),
+            &batching,
+            |b, &batching| {
+                b.iter(|| black_box(runtime(batching).run()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

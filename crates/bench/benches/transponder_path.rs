@@ -12,15 +12,19 @@ fn bench_commodity(c: &mut Criterion) {
     let mut group = c.benchmark_group("commodity_frame_roundtrip");
     for &payload in &[64usize, 512, 1500] {
         group.throughput(Throughput::Bytes(payload as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |b, &payload| {
-            let mut rng = SimRng::seed_from_u64(0);
-            let mut t = CommodityTransponder::ideal(&mut rng);
-            let frame = Frame::data(vec![0u8; payload]);
-            b.iter(|| {
-                let field = t.transmit_frame(black_box(&frame));
-                black_box(t.receive_frame(&field).unwrap())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(payload),
+            &payload,
+            |b, &payload| {
+                let mut rng = SimRng::seed_from_u64(0);
+                let mut t = CommodityTransponder::ideal(&mut rng);
+                let frame = Frame::data(vec![0u8; payload]);
+                b.iter(|| {
+                    let field = t.transmit_frame(black_box(&frame));
+                    black_box(t.receive_frame(&field).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }

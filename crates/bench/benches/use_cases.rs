@@ -14,7 +14,13 @@ fn bench_video(c: &mut Criterion) {
     let mut rng = SimRng::seed_from_u64(1);
     let frame = synthetic_frame(32, 16, 0, &mut rng);
     c.bench_function("video_encode_32x16_digital", |b| {
-        b.iter(|| black_box(encode_frame(black_box(&frame), 0.8, &mut Transform::Digital)));
+        b.iter(|| {
+            black_box(encode_frame(
+                black_box(&frame),
+                0.8,
+                &mut Transform::Digital,
+            ))
+        });
     });
     c.bench_function("video_encode_32x16_photonic", |b| {
         let mut engine = PhotonicMatVec::ideal(8);

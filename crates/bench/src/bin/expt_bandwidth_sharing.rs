@@ -96,7 +96,13 @@ fn main() {
     let mut t = Table::new(
         "per-load sweep",
         &[
-            "users", "load", "delivered/injected", "goodput Gbps", "Jain", "coverage", "drops",
+            "users",
+            "load",
+            "delivered/injected",
+            "goodput Gbps",
+            "Jain",
+            "coverage",
+            "drops",
         ],
     );
     let mut rows = Vec::new();
@@ -133,7 +139,9 @@ fn main() {
     }
     // Overload sheds load via queue drops.
     assert!(
-        rows.iter().filter(|r| r.offered_load_frac > 1.0).all(|r| r.drops > 0),
+        rows.iter()
+            .filter(|r| r.offered_load_frac > 1.0)
+            .all(|r| r.drops > 0),
         "overload must drop"
     );
     println!("\nall sharing invariants hold (full coverage, Jain > 0.9, overload drops)");

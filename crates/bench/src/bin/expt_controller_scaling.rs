@@ -68,8 +68,16 @@ fn main() {
     let mut t = Table::new(
         "solver scaling (capacity: 2 slots at 1/3 of sites)",
         &[
-            "nodes", "demands", "exact sat", "b&b nodes", "proven", "exact ms", "lp sat",
-            "lp gap%", "greedy sat", "greedy gap%",
+            "nodes",
+            "demands",
+            "exact sat",
+            "b&b nodes",
+            "proven",
+            "exact ms",
+            "lp sat",
+            "lp gap%",
+            "greedy sat",
+            "greedy gap%",
         ],
     );
     let mut rows = Vec::new();
@@ -84,7 +92,9 @@ fn main() {
         let mut rng = SimRng::seed_from_u64(6000 + n_nodes as u64);
         let topo = Topology::random_geometric(n_nodes, 2000.0, 700.0, &mut rng);
         // A third of sites upgraded, 2 slots each.
-        let slots: Vec<usize> = (0..n_nodes).map(|i| if i % 3 == 0 { 2 } else { 0 }).collect();
+        let slots: Vec<usize> = (0..n_nodes)
+            .map(|i| if i % 3 == 0 { 2 } else { 0 })
+            .collect();
         let demands = random_demands(&topo, n_demands, &mut rng);
         let instance = enumerate_options(&topo, &slots, &demands, 8);
 

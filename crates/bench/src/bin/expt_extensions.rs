@@ -80,7 +80,11 @@ fn main() {
     t.print();
     assert!(result.distributed_computed, "all parts must complete");
     assert_eq!(
-        result.distributed_parts.iter().map(|&(_, m)| m).sum::<u64>(),
+        result
+            .distributed_parts
+            .iter()
+            .map(|&(_, m)| m)
+            .sum::<u64>(),
         24
     );
 
@@ -93,8 +97,7 @@ fn main() {
     data[40] = !data[40];
     let enc = encrypt_bits(&data, key);
     result.secure_match_distance = sm.match_ciphertext(&enc);
-    result.secure_adversary_distance =
-        sm.match_ciphertext_against_plaintext_rule(&enc, &pattern);
+    result.secure_adversary_distance = sm.match_ciphertext_against_plaintext_rule(&enc, &pattern);
     println!(
         "encrypted matching: distance through cipher = {:.2} (true 2); \
          plaintext-rule adversary reads {:.1} (n/2 = 32 — no leak)\n",
@@ -107,7 +110,14 @@ fn main() {
     let mut dc = Network::new(Topology::leaf_spine(8, 2, 0.1), SimRng::seed_from_u64(2));
     dc.install_shortest_path_routes();
     let spine = NodeId(8);
-    dc.add_engine(spine, 1, OpSpec::Dot { weights: vec![0.5; 16] }, 0.0);
+    dc.add_engine(
+        spine,
+        1,
+        OpSpec::Dot {
+            weights: vec![0.5; 16],
+        },
+        0.0,
+    );
     dc.install_compute_detour(Primitive::VectorDotProduct, spine);
     let mut id = 0;
     for src in 0..8u32 {
@@ -127,8 +137,7 @@ fn main() {
     }
     dc.run_to_idle();
     result.dc_p99_us = dc.stats.latency_percentile_ms(0.99).unwrap() * 1e3;
-    result.dc_coverage =
-        dc.stats.computed_count() as f64 / dc.stats.delivered_count() as f64;
+    result.dc_coverage = dc.stats.computed_count() as f64 / dc.stats.delivered_count() as f64;
     println!(
         "datacenter: {} cross-rack requests, p99 {:.2} µs, coverage {:.2}\n",
         dc.stats.delivered_count(),

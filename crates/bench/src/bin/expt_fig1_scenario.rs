@@ -51,7 +51,8 @@ fn main() {
         bytes: 600,
         line_rate_bps: 100e9,
     };
-    let cloud_ms = recognize.latency_s(&Placement::Cloud { detour_km: 400.0 }, &ComputeModel::tpu()) * 1e3;
+    let cloud_ms =
+        recognize.latency_s(&Placement::Cloud { detour_km: 400.0 }, &ComputeModel::tpu()) * 1e3;
     let edge_ms = recognize.latency_s(&Placement::EndDevice, &ComputeModel::edge_soc()) * 1e3;
 
     let mut t = Table::new(

@@ -76,14 +76,30 @@ fn main() {
     }
     t.print();
     // Shape check: precision degrades as launch power falls.
-    let hi = result.a.iter().filter(|r| r.laser_dbm == 13.0).map(|r| r.effective_bits).sum::<f64>();
-    let lo = result.a.iter().filter(|r| r.laser_dbm == -7.0).map(|r| r.effective_bits).sum::<f64>();
+    let hi = result
+        .a
+        .iter()
+        .filter(|r| r.laser_dbm == 13.0)
+        .map(|r| r.effective_bits)
+        .sum::<f64>();
+    let lo = result
+        .a
+        .iter()
+        .filter(|r| r.laser_dbm == -7.0)
+        .map(|r| r.effective_bits)
+        .sum::<f64>();
     assert!(hi > lo, "effective bits must fall with optical power");
 
     // ---------- E2b: P2 discrimination ----------
     let mut t = Table::new(
         "E2b — P2 pattern matching: distance estimates and decisions",
-        &["bits", "matched est", "1-off est", "random est", "errors/trials"],
+        &[
+            "bits",
+            "matched est",
+            "1-off est",
+            "random est",
+            "errors/trials",
+        ],
     );
     for &bits in &[8usize, 32, 128] {
         let mut rng = SimRng::seed_from_u64(2000 + bits as u64);
@@ -140,8 +156,7 @@ fn main() {
             row.one_off_est
         );
         assert!(
-            (row.random_est - row.pattern_bits as f64 / 2.0).abs()
-                < row.pattern_bits as f64 * 0.25,
+            (row.random_est - row.pattern_bits as f64 / 2.0).abs() < row.pattern_bits as f64 * 0.25,
             "random distance ≈ n/2"
         );
     }
@@ -155,7 +170,10 @@ fn main() {
         .map(|(x, _)| *x)
         .unwrap_or(0.0);
     let mut max_dev: f64 = 0.0;
-    let mut t = Table::new("E2c — P3 transfer curve (x → f(x))", &["x", "f(x)", "ReLU ref"]);
+    let mut t = Table::new(
+        "E2c — P3 transfer curve (x → f(x))",
+        &["x", "f(x)", "ReLU ref"],
+    );
     for &(x, y) in &curve {
         let r = relu_reference(x, knee);
         if x > knee {

@@ -12,8 +12,8 @@
 //!    recovers under matched training.
 
 use ofpc_apps::ml::{
-    accuracy_photonic, accuracy_with_activation, deploy_curve_trained, synthetic_glyphs,
-    train_mlp, TrainActivation, TrainConfig,
+    accuracy_photonic, accuracy_with_activation, deploy_curve_trained, synthetic_glyphs, train_mlp,
+    TrainActivation, TrainConfig,
 };
 use ofpc_bench::table::{dump_json, Table};
 use ofpc_engine::calibration::DotCalibration;

@@ -67,7 +67,14 @@ fn main() {
     let seattle = net.topo.find_node("Seattle").unwrap();
     let ny = net.topo.find_node("NewYork").unwrap();
     let denver = net.topo.find_node("Denver").unwrap();
-    net.add_engine(denver, 1, OpSpec::Dot { weights: vec![0.5; 8] }, 0.0);
+    net.add_engine(
+        denver,
+        1,
+        OpSpec::Dot {
+            weights: vec![0.5; 8],
+        },
+        0.0,
+    );
     net.install_compute_detour(Primitive::VectorDotProduct, denver);
     // One plain + one compute packet, Seattle → New York.
     let src = Network::node_addr(seattle, 1);
@@ -81,8 +88,18 @@ fn main() {
     );
     net.run_to_idle();
     assert_eq!(net.stats.delivered_count(), 2);
-    let plain = net.stats.delivered.iter().find(|r| r.packet_id == 1).unwrap();
-    let compute = net.stats.delivered.iter().find(|r| r.packet_id == 2).unwrap();
+    let plain = net
+        .stats
+        .delivered
+        .iter()
+        .find(|r| r.packet_id == 1)
+        .unwrap();
+    let compute = net
+        .stats
+        .delivered
+        .iter()
+        .find(|r| r.packet_id == 2)
+        .unwrap();
     result.plain_hops = plain.hops;
     result.compute_hops = compute.hops;
     result.computed_coverage = if compute.computed { 1.0 } else { 0.0 };
@@ -107,7 +124,14 @@ fn main() {
         let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(8));
         net.install_shortest_path_routes();
         let c = NodeId(2);
-        net.add_engine(c, 1, OpSpec::Dot { weights: vec![1.0; 4] }, 0.0);
+        net.add_engine(
+            c,
+            1,
+            OpSpec::Dot {
+                weights: vec![1.0; 4],
+            },
+            0.0,
+        );
         let report = staged_rollout(
             &mut net,
             Primitive::VectorDotProduct,
@@ -125,7 +149,9 @@ fn main() {
             report.computed.to_string(),
             report.missed.to_string(),
         ]);
-        result.rollout.push((gap_ps, report.computed, report.missed));
+        result
+            .rollout
+            .push((gap_ps, report.computed, report.missed));
         assert_eq!(report.computed + report.missed, 20);
     }
     t.print();
@@ -135,7 +161,10 @@ fn main() {
     let fastest_missed = result.rollout.first().unwrap().2;
     let slowest_missed = result.rollout.last().unwrap().2;
     assert!(slowest_missed >= fastest_missed);
-    assert!(fastest_missed <= 1, "instant rollout misses at most the in-flight packet");
+    assert!(
+        fastest_missed <= 1,
+        "instant rollout misses at most the in-flight packet"
+    );
     assert!(slowest_missed > 1, "slow rollout must miss more");
 
     dump_json("e7_protocol", &result);

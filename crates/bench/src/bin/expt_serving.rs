@@ -1,0 +1,229 @@
+//! E12 — request serving on the photonic substrate: offered load vs
+//! latency, goodput, and shed rate, with dynamic batching on and off.
+//!
+//! A metro deployment (three 10 km spans, two upgraded sites) serves two
+//! tenants — a steady Poisson tenant with weight 3 and a bursty MMPP
+//! tenant with weight 1 — through the full `ofpc-serve` pipeline:
+//! admission (bounded queues, DRR weighted fair sharing), dynamic
+//! batching into WDM wavelength batches, EDF dispatch onto the
+//! transponder inventory, explicit load shedding.
+//!
+//! The sweep crosses the saturation knee. Expected shape:
+//!
+//! * **batching beats no-batching on goodput at high load** — batches
+//!   amortize the fixed reconfiguration/settling costs across WDM
+//!   channels, so the saturation ceiling sits higher;
+//! * **p99 latency and shed rate rise monotonically past the knee** —
+//!   open-loop arrivals keep coming, queues fill, backpressure sheds;
+//! * **bit-for-bit reproducible** under the fixed seed (the replay tests
+//!   pin the same property).
+
+use ofpc_bench::table::{dump_json, Table};
+use ofpc_core::OnFiberNetwork;
+use ofpc_engine::Primitive;
+use ofpc_net::{NodeId, Topology};
+use ofpc_serve::{
+    ArrivalSpec, BatchClass, BatchPolicy, ServeConfig, ServeReport, ServeRuntime, ServiceModel,
+    TenantSpec,
+};
+use ofpc_transponder::compute::ComputeTransponderConfig;
+use serde::Serialize;
+
+const SEED: u64 = 12;
+const WDM_CHANNELS: usize = 4;
+const OPERAND_LEN: usize = 2048;
+const HORIZON_PS: u64 = 2_000_000_000; // 2 ms of arrivals
+const DRAIN_PS: u64 = 1_000_000_000;
+
+fn deployment() -> OnFiberNetwork {
+    // Front-end at node 0; compute transponders at the two downstream
+    // metro sites (10 km spans — ~49 µs of glass each way per span).
+    let mut sys = OnFiberNetwork::new(Topology::line(3, 10.0), SEED);
+    sys.upgrade_site(NodeId(1), 1);
+    sys.upgrade_site(NodeId(2), 1);
+    sys
+}
+
+/// Aggregate slot capacity in requests/s with full, affinity-hot batches
+/// — the expected saturation knee.
+fn capacity_rps(model: &ServiceModel, slots: usize, max_batch: usize) -> f64 {
+    let class = BatchClass {
+        primitive: Primitive::VectorDotProduct,
+        operand_len: OPERAND_LEN as u32,
+    };
+    let (service_ps, _) = model.batch_service(class, max_batch, Some(class));
+    slots as f64 * max_batch as f64 / (service_ps as f64 * 1e-12)
+}
+
+fn config(total_rps: f64, batching: bool) -> ServeConfig {
+    let batch = if batching {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait_ps: 5_000_000, // 5 µs
+        }
+    } else {
+        BatchPolicy::disabled()
+    };
+    ServeConfig {
+        seed: SEED,
+        horizon_ps: HORIZON_PS,
+        drain_grace_ps: DRAIN_PS,
+        batch,
+        tenants: vec![
+            TenantSpec {
+                name: "steady".to_string(),
+                weight: 3,
+                queue_capacity: 96,
+                arrivals: ArrivalSpec::Poisson {
+                    rate_rps: total_rps * 0.75,
+                },
+                primitive: Primitive::VectorDotProduct,
+                operand_len: OPERAND_LEN,
+                deadline_ps: 2_000_000_000, // 2 ms
+            },
+            TenantSpec {
+                name: "bursty".to_string(),
+                weight: 1,
+                queue_capacity: 32,
+                arrivals: ArrivalSpec::Mmpp {
+                    calm_rps: total_rps * 0.125,
+                    burst_rps: total_rps * 1.125,
+                    mean_calm_s: 200e-6,
+                    mean_burst_s: 50e-6,
+                },
+                primitive: Primitive::VectorDotProduct,
+                operand_len: OPERAND_LEN,
+                deadline_ps: 2_000_000_000,
+            },
+        ],
+        verify_every: 256,
+    }
+}
+
+fn run(total_rps: f64, batching: bool) -> ServeReport {
+    let sys = deployment();
+    ServeRuntime::over_network(
+        &sys,
+        NodeId(0),
+        &ComputeTransponderConfig::realistic(),
+        WDM_CHANNELS,
+        config(total_rps, batching),
+    )
+    .run()
+}
+
+#[derive(Debug, Serialize)]
+struct E12Row {
+    load_frac: f64,
+    offered_rps: f64,
+    batching: bool,
+    goodput_rps: f64,
+    shed_rate: f64,
+    p50_latency_us: Option<f64>,
+    p99_latency_us: Option<f64>,
+    p999_latency_us: Option<f64>,
+    mean_batch_occupancy: f64,
+    joules_per_completed: f64,
+    verify_mean_abs_error: f64,
+    report: ServeReport,
+}
+
+fn main() {
+    let model =
+        ServiceModel::from_transponder(&ComputeTransponderConfig::realistic(), WDM_CHANNELS);
+    let knee = capacity_rps(&model, 2, 8);
+    println!(
+        "estimated slot capacity (batched, hot): {:.2} M req/s\n",
+        knee / 1e6
+    );
+
+    let fracs = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
+    let mut rows = Vec::new();
+    for &batching in &[true, false] {
+        for &f in &fracs {
+            let offered = f * knee;
+            let report = run(offered, batching);
+            rows.push(E12Row {
+                load_frac: f,
+                offered_rps: offered,
+                batching,
+                goodput_rps: report.goodput_rps,
+                shed_rate: report.shed_rate,
+                p50_latency_us: report.p50_latency_us,
+                p99_latency_us: report.p99_latency_us,
+                p999_latency_us: report.p999_latency_us,
+                mean_batch_occupancy: report.mean_batch_occupancy,
+                joules_per_completed: report.joules_per_completed,
+                verify_mean_abs_error: report.verify_mean_abs_error,
+                report,
+            });
+        }
+    }
+
+    for batching in [true, false] {
+        let mut t = Table::new(
+            &format!(
+                "E12 — serving sweep (batching {})",
+                if batching { "ON, max 8" } else { "OFF" }
+            ),
+            &[
+                "load",
+                "offered Mrps",
+                "goodput Mrps",
+                "shed %",
+                "p50 µs",
+                "p99 µs",
+                "p999 µs",
+                "occupancy",
+                "nJ/req",
+            ],
+        );
+        for r in rows.iter().filter(|r| r.batching == batching) {
+            t.row(&[
+                format!("{:.2}", r.load_frac),
+                format!("{:.2}", r.offered_rps / 1e6),
+                format!("{:.2}", r.goodput_rps / 1e6),
+                format!("{:.1}", r.shed_rate * 100.0),
+                r.p50_latency_us.map_or("-".into(), |v| format!("{v:.1}")),
+                r.p99_latency_us.map_or("-".into(), |v| format!("{v:.1}")),
+                r.p999_latency_us.map_or("-".into(), |v| format!("{v:.1}")),
+                format!("{:.2}", r.mean_batch_occupancy),
+                format!("{:.2}", r.joules_per_completed * 1e9),
+            ]);
+        }
+        t.print();
+    }
+
+    // Acceptance checks (also enforced in tests/serving.rs).
+    let high_load = |batching: bool| {
+        rows.iter()
+            .filter(|r| r.batching == batching && r.load_frac >= 1.25)
+            .map(|r| r.goodput_rps)
+            .sum::<f64>()
+    };
+    let (on, off) = (high_load(true), high_load(false));
+    println!(
+        "high-load goodput: batching {:.2} Mrps vs unbatched {:.2} Mrps ({}x)",
+        on / 1e6,
+        off / 1e6,
+        (on / off * 100.0).round() / 100.0
+    );
+    assert!(
+        on > off,
+        "batching must beat no-batching on goodput at high load"
+    );
+    for batching in [true, false] {
+        let past_knee: Vec<&E12Row> = rows
+            .iter()
+            .filter(|r| r.batching == batching && r.load_frac >= 1.0)
+            .collect();
+        for w in past_knee.windows(2) {
+            assert!(
+                w[1].shed_rate >= w[0].shed_rate - 1e-9,
+                "shed rate must rise monotonically past the knee (batching {batching})"
+            );
+        }
+    }
+
+    dump_json("expt_serving", &rows);
+}

@@ -15,8 +15,8 @@ use ofpc_apps::iprouting::{random_rules, PhotonicLpm, TcamModel};
 use ofpc_apps::loadbalance::{run_lb, Balancer};
 use ofpc_apps::mimo::{measure_ser, Detector};
 use ofpc_apps::ml::{
-    accuracy_photonic, accuracy_with_activation, deploy_curve_trained, synthetic_glyphs,
-    train_mlp, TrainActivation, TrainConfig,
+    accuracy_photonic, accuracy_with_activation, deploy_curve_trained, synthetic_glyphs, train_mlp,
+    TrainActivation, TrainConfig,
 };
 use ofpc_apps::video::{decode_frame, encode_frame, psnr, synthetic_frame, Transform};
 use ofpc_bench::table::{dump_json, Table};
@@ -70,7 +70,12 @@ fn main() {
                 primitive: "P1+P3".into(),
                 photonic_metric: format!("acc {photonic_acc:.2}"),
                 baseline_metric: format!("acc {digital_acc:.2} (cloud TPU)"),
-                verdict: if photonic_acc >= digital_acc - 0.1 { "OK" } else { "DEGRADED" }.into(),
+                verdict: if photonic_acc >= digital_acc - 0.1 {
+                    "OK"
+                } else {
+                    "DEGRADED"
+                }
+                .into(),
             },
             &mut t,
         );
@@ -94,7 +99,12 @@ fn main() {
                 primitive: "P1".into(),
                 photonic_metric: format!("PSNR {psnr_p:.1} dB"),
                 baseline_metric: format!("PSNR {psnr_d:.1} dB (edge)"),
-                verdict: if psnr_p > psnr_d - 3.0 { "OK" } else { "DEGRADED" }.into(),
+                verdict: if psnr_p > psnr_d - 3.0 {
+                    "OK"
+                } else {
+                    "DEGRADED"
+                }
+                .into(),
             },
             &mut t,
         );
@@ -147,7 +157,12 @@ fn main() {
                 primitive: "P2".into(),
                 photonic_metric: format!("{agree}/{} payloads agree", payloads.len()),
                 baseline_metric: "Aho-Corasick (server)".into(),
-                verdict: if agree == payloads.len() { "OK" } else { "MISMATCH" }.into(),
+                verdict: if agree == payloads.len() {
+                    "OK"
+                } else {
+                    "MISMATCH"
+                }
+                .into(),
             },
             &mut t,
         );
@@ -170,7 +185,12 @@ fn main() {
                 primitive: "P1/P2 (phase)".into(),
                 photonic_metric: format!("{:.2e} J", alice.energy_j()),
                 baseline_metric: format!("{:.2e} J (CPU)", cpu.energy_j()),
-                verdict: if ok && alice.energy_j() < cpu.energy_j() { "OK" } else { "FAIL" }.into(),
+                verdict: if ok && alice.energy_j() < cpu.energy_j() {
+                    "OK"
+                } else {
+                    "FAIL"
+                }
+                .into(),
             },
             &mut t,
         );
@@ -199,7 +219,12 @@ fn main() {
                     "p99 {:.2} ms, drops {} (ECMP)",
                     r_ecmp.p99_latency_ms, r_ecmp.drops
                 ),
-                verdict: if r_phot.drops <= r_ecmp.drops { "OK" } else { "WORSE" }.into(),
+                verdict: if r_phot.drops <= r_ecmp.drops {
+                    "OK"
+                } else {
+                    "WORSE"
+                }
+                .into(),
             },
             &mut t,
         );
@@ -221,7 +246,12 @@ fn main() {
                 primitive: "P1+P3".into(),
                 photonic_metric: format!("SER {ser_p:.3}"),
                 baseline_metric: format!("SER {ser_d:.3} (DC server)"),
-                verdict: if ser_p <= ser_d + 0.05 { "OK" } else { "DEGRADED" }.into(),
+                verdict: if ser_p <= ser_d + 0.05 {
+                    "OK"
+                } else {
+                    "DEGRADED"
+                }
+                .into(),
             },
             &mut t,
         );

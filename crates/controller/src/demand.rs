@@ -81,7 +81,12 @@ impl TaskDag {
 
     /// The primitive sequence in topological order (the placement chain).
     pub fn linearize(&self) -> Option<Vec<Primitive>> {
-        Some(self.topo_order()?.into_iter().map(|i| self.tasks[i]).collect())
+        Some(
+            self.topo_order()?
+                .into_iter()
+                .map(|i| self.tasks[i])
+                .collect(),
+        )
     }
 }
 

@@ -80,10 +80,7 @@ mod tests {
         // demand 1 first so both fit.
         let inst = ProblemInstance {
             node_slots: vec![1, 1],
-            options: vec![
-                vec![opt(&[0], 1.0), opt(&[1], 2.0)],
-                vec![opt(&[0], 1.0)],
-            ],
+            options: vec![vec![opt(&[0], 1.0), opt(&[1], 2.0)], vec![opt(&[0], 1.0)]],
         };
         let sol = solve_greedy(&inst);
         assert_eq!(sol.allocation.satisfied_count(), 2);

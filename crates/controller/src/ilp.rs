@@ -176,10 +176,7 @@ mod tests {
         // Optimal: d0 → node 1, d1 → node 0 (both satisfied).
         let inst = ProblemInstance {
             node_slots: vec![1, 1],
-            options: vec![
-                vec![opt(&[0], 1.0), opt(&[1], 2.0)],
-                vec![opt(&[0], 1.0)],
-            ],
+            options: vec![vec![opt(&[0], 1.0), opt(&[1], 2.0)], vec![opt(&[0], 1.0)]],
         };
         let sol = solve_exact(&inst, 1_000_000);
         assert_eq!(sol.allocation.satisfied_count(), 2);
@@ -221,7 +218,11 @@ mod tests {
         let inst = ProblemInstance {
             node_slots: vec![3; 6],
             options: (0..12)
-                .map(|d| (0..6).map(|n| opt(&[n as u32], 1.0 + d as f64 * 0.1)).collect())
+                .map(|d| {
+                    (0..6)
+                        .map(|n| opt(&[n as u32], 1.0 + d as f64 * 0.1))
+                        .collect()
+                })
                 .collect(),
         };
         let sol = solve_exact(&inst, 50);

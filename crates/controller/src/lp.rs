@@ -49,7 +49,11 @@ pub fn solve_lp(instance: &ProblemInstance) -> LpSolution {
     let nv = var_of.len();
     if nv == 0 {
         return LpSolution {
-            fractional: instance.options.iter().map(|o| vec![0.0; o.len()]).collect(),
+            fractional: instance
+                .options
+                .iter()
+                .map(|o| vec![0.0; o.len()])
+                .collect(),
             upper_bound: 0.0,
             pivots: 0,
         };
@@ -261,7 +265,12 @@ mod tests {
         let lp = solve_lp(&inst);
         let exact = solve_exact(&inst, 1_000_000);
         // Uncontended packing LP has an integral optimum.
-        assert!((lp.upper_bound - exact.score).abs() < 1.0, "lp {} ilp {}", lp.upper_bound, exact.score);
+        assert!(
+            (lp.upper_bound - exact.score).abs() < 1.0,
+            "lp {} ilp {}",
+            lp.upper_bound,
+            exact.score
+        );
         // Fractional solution saturates both demands.
         assert!((lp.fractional[0][0] - 1.0).abs() < 1e-6);
         assert!((lp.fractional[1][0] - 1.0).abs() < 1e-6);
@@ -374,6 +383,10 @@ mod tests {
         // Capacity is 36 slots for 60 single-slot demands: at most 36
         // can be satisfied, and a decent rounding gets close.
         assert!(rounded.satisfied_count() <= 36);
-        assert!(rounded.satisfied_count() >= 30, "{}", rounded.satisfied_count());
+        assert!(
+            rounded.satisfied_count() >= 30,
+            "{}",
+            rounded.satisfied_count()
+        );
     }
 }

@@ -188,10 +188,7 @@ mod tests {
         let demands = vec![p1_demand(0, 0, 3)]; // A → D
         let inst = enumerate_options(&topo, &slots, &demands, 10);
         assert_eq!(inst.options[0].len(), 2);
-        let sites: Vec<u32> = inst.options[0]
-            .iter()
-            .map(|o| o.placement[0].0)
-            .collect();
+        let sites: Vec<u32> = inst.options[0].iter().map(|o| o.placement[0].0).collect();
         assert!(sites.contains(&1) && sites.contains(&2));
         // Both B and C lie on equal-length A→D paths: essentially zero
         // added latency (±1 ps of per-leg integer rounding).

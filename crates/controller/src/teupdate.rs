@@ -149,12 +149,7 @@ mod tests {
     fn plan_contains_installs_and_overrides() {
         let topo = Topology::fig1();
         let slots = vec![0, 1, 1, 0];
-        let demands = vec![Demand::new(
-            0,
-            NodeId(0),
-            NodeId(3),
-            TaskDag::single(P1),
-        )];
+        let demands = vec![Demand::new(0, NodeId(0), NodeId(3), TaskDag::single(P1))];
         let inst = enumerate_options(&topo, &slots, &demands, 10);
         let sol = solve_exact(&inst, 1_000_000);
         let plan = build_plan(&demands, &inst, &sol.allocation);
@@ -184,12 +179,7 @@ mod tests {
         // Full loop: enumerate → solve → plan → apply → traffic computes.
         let topo = Topology::fig1();
         let slots = vec![0, 1, 1, 0];
-        let demands = vec![Demand::new(
-            7,
-            NodeId(0),
-            NodeId(3),
-            TaskDag::single(P1),
-        )];
+        let demands = vec![Demand::new(7, NodeId(0), NodeId(3), TaskDag::single(P1))];
         let inst = enumerate_options(&topo, &slots, &demands, 10);
         let sol = solve_exact(&inst, 1_000_000);
         let plan = build_plan(&demands, &inst, &sol.allocation);

@@ -197,7 +197,10 @@ mod tests {
         // accumulated: run the distributed pipeline and read the final
         // result from a tapped copy — here we reconstruct it by running
         // the same quantized math the engines implement.
-        let quantized: Vec<f64> = operands.iter().map(|&v| (v * 255.0).round() / 255.0).collect();
+        let quantized: Vec<f64> = operands
+            .iter()
+            .map(|&v| (v * 255.0).round() / 255.0)
+            .collect();
         let expected: f64 = weights.iter().zip(&quantized).map(|(w, a)| w * a).sum();
         assert!((expected - exact).abs() < 0.05);
 
@@ -230,7 +233,14 @@ mod tests {
         // network executing the monolithic op on the same operands.
         let mut reference = Network::new(Topology::line(4, 400.0), SimRng::seed_from_u64(2));
         reference.install_shortest_path_routes();
-        reference.add_engine(b, 1, OpSpec::Dot { weights: weights.clone() }, 0.0);
+        reference.add_engine(
+            b,
+            1,
+            OpSpec::Dot {
+                weights: weights.clone(),
+            },
+            0.0,
+        );
         reference.install_compute_detour(Primitive::VectorDotProduct, b);
         let pr = tag_request(
             Network::node_addr(a, 1),
@@ -245,8 +255,7 @@ mod tests {
         assert!(reference.stats.delivered[0].computed);
         // Both pipelines computed; their engines saw identical operand
         // totals (MAC counts partition exactly).
-        let dist_macs: u64 =
-            net.engines_at(b)[0].macs + net.engines_at(c)[0].macs;
+        let dist_macs: u64 = net.engines_at(b)[0].macs + net.engines_at(c)[0].macs;
         assert_eq!(dist_macs, reference.engines_at(b)[0].macs);
     }
 

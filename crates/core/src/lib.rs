@@ -104,6 +104,17 @@ impl OnFiberNetwork {
         &self.slots
     }
 
+    /// Upgraded compute sites as `(node, slot count)` pairs, in node
+    /// order — what a serving runtime schedules onto.
+    pub fn compute_sites(&self) -> Vec<(NodeId, usize)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (NodeId(i as u32), n))
+            .collect()
+    }
+
     /// Register a single-task compute demand with its operation
     /// semantics. The demand's id doubles as the protocol op id. For
     /// multi-task DAGs use [`OnFiberNetwork::submit_chain_demand`].
@@ -293,9 +304,7 @@ mod tests {
         for i in 0..3u32 {
             sys.submit_demand(
                 Demand::new(i, NodeId(0), NodeId(3), TaskDag::single(P1)),
-                OpSpec::Dot {
-                    weights: vec![1.0],
-                },
+                OpSpec::Dot { weights: vec![1.0] },
             );
         }
         let plan = sys.allocate_and_apply(Solver::Exact {

@@ -179,7 +179,12 @@ mod tests {
         assert_eq!(protocol_overhead(0), 8);
         assert_eq!(protocol_overhead(1024), 8);
         // Cross-check against actual wire sizes.
-        let plain = Packet::data(Addr::new(10, 0, 0, 1), Addr::new(10, 0, 1, 1), 0, vec![0u8; 64]);
+        let plain = Packet::data(
+            Addr::new(10, 0, 0, 1),
+            Addr::new(10, 0, 1, 1),
+            0,
+            vec![0u8; 64],
+        );
         let tagged = tag_request(
             Addr::new(10, 0, 0, 1),
             Addr::new(10, 0, 1, 1),
@@ -199,7 +204,14 @@ mod tests {
         let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
         net.install_shortest_path_routes();
         let b = NodeId(1);
-        net.add_engine(b, 1, OpSpec::Dot { weights: vec![1.0; 4] }, 0.0);
+        net.add_engine(
+            b,
+            1,
+            OpSpec::Dot {
+                weights: vec![1.0; 4],
+            },
+            0.0,
+        );
         let report = staged_rollout(
             &mut net,
             P1,
@@ -221,7 +233,14 @@ mod tests {
         let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
         net.install_shortest_path_routes();
         let c = NodeId(2);
-        net.add_engine(c, 1, OpSpec::Dot { weights: vec![1.0; 4] }, 0.0);
+        net.add_engine(
+            c,
+            1,
+            OpSpec::Dot {
+                weights: vec![1.0; 4],
+            },
+            0.0,
+        );
         // Updates land 5 ms apart while packets go every 1 ms: early
         // packets cross un-updated routers. (Shortest A→D may go via B,
         // missing the engine at C entirely.)

@@ -124,7 +124,13 @@ impl Fig1Scenario {
                 })
                 .collect();
             let pch = PchHeader::request(Primitive::PatternMatching, OP_CLASSIFY, 16);
-            let p = Packet::compute(src, dst, (i * 2) as u32, pch, Packet::encode_operands(&header_bits));
+            let p = Packet::compute(
+                src,
+                dst,
+                (i * 2) as u32,
+                pch,
+                Packet::encode_operands(&header_bits),
+            );
             self.system.net.inject(t, self.site_a, p);
             // Recognition request: a synthetic image.
             let image: Vec<f64> = (0..64).map(|_| rng.uniform()).collect();

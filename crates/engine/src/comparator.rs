@@ -127,10 +127,8 @@ impl PhotonicComparator {
         self.comparisons += 1;
         // Differential current, normalized to the full-scale per-arm
         // current so the dead zone is unit-independent.
-        let full_scale = self.laser.power_w() / 2.0
-            * self.pd_a.config.responsivity_a_w
-            * 2.0
-            * n as f64;
+        let full_scale =
+            self.laser.power_w() / 2.0 * self.pd_a.config.responsivity_a_w * 2.0 * n as f64;
         let diff = (i_a - i_b) / full_scale.max(f64::MIN_POSITIVE);
         if diff.abs() < self.config.dead_zone {
             Comparison::TooClose
@@ -208,7 +206,11 @@ mod tests {
         let trials = 100;
         for i in 0..trials {
             let (a, b) = if i % 2 == 0 { (0.8, 0.3) } else { (0.2, 0.7) };
-            let want = if a > b { Comparison::AGreater } else { Comparison::BGreater };
+            let want = if a > b {
+                Comparison::AGreater
+            } else {
+                Comparison::BGreater
+            };
             if c.compare(a, b) == want {
                 correct += 1;
             }

@@ -43,7 +43,10 @@ impl Correlator {
         stride: usize,
         rng: &mut SimRng,
     ) -> Self {
-        assert!(!signatures.is_empty(), "correlator needs at least one signature");
+        assert!(
+            !signatures.is_empty(),
+            "correlator needs at least one signature"
+        );
         assert!(
             signatures.iter().all(|s| !s.is_empty()),
             "signatures must be non-empty"
@@ -66,7 +69,13 @@ impl Correlator {
     /// Ideal-hardware correlator (for algorithmic tests).
     pub fn ideal(signatures: Vec<Vec<bool>>, tolerance: f64, stride: usize) -> Self {
         let mut rng = SimRng::seed_from_u64(0);
-        Correlator::new(MatcherConfig::ideal(), signatures, tolerance, stride, &mut rng)
+        Correlator::new(
+            MatcherConfig::ideal(),
+            signatures,
+            tolerance,
+            stride,
+            &mut rng,
+        )
     }
 
     pub fn signature_count(&self) -> usize {
@@ -168,8 +177,7 @@ mod tests {
         let sigs = vec![bytes_to_bits(b"AB"), bytes_to_bits(b"CD")];
         let mut c = Correlator::ideal(sigs, 0.0, 8);
         let hits = c.scan(&bytes_to_bits(b"ABxCDxAB"));
-        let found: Vec<(usize, usize)> =
-            hits.iter().map(|h| (h.offset, h.pattern_index)).collect();
+        let found: Vec<(usize, usize)> = hits.iter().map(|h| (h.offset, h.pattern_index)).collect();
         assert_eq!(found, vec![(0, 0), (24, 1), (48, 0)]);
     }
 

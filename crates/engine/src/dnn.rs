@@ -339,9 +339,7 @@ impl PhotonicDnn {
                 .weights
                 .iter()
                 .zip(&layer.bias)
-                .map(|(row, b)| {
-                    row.iter().zip(&a).map(|(w, v)| w * v).sum::<f64>() * w_scale + b
-                })
+                .map(|(row, b)| row.iter().zip(&a).map(|(w, v)| w * v).sum::<f64>() * w_scale + b)
                 .collect();
             if li + 1 < n_layers {
                 let s = self.act_scales[li].max(f64::MIN_POSITIVE);

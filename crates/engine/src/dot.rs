@@ -176,7 +176,11 @@ impl DotProductUnit {
     /// One physical pass: quantize, modulate, detect, integrate.
     /// Returns the *summed photocurrent* over the block (amps·samples).
     fn raw_pass(&mut self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "dot-product operands must match in length");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot-product operands must match in length"
+        );
         assert!(!a.is_empty(), "dot product of empty vectors");
         let n = a.len();
         // Quantize operands through the DAC code space. In on-fiber mode
@@ -250,7 +254,11 @@ impl DotProductUnit {
     /// Signed dot product with elements in `[-1, 1]`, via the standard
     /// four-pass positive/negative decomposition.
     pub fn dot_signed(&mut self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "dot-product operands must match in length");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot-product operands must match in length"
+        );
         let pos = |v: &[f64]| -> Vec<f64> { v.iter().map(|&x| x.clamp(0.0, 1.0)).collect() };
         let neg = |v: &[f64]| -> Vec<f64> { v.iter().map(|&x| (-x).clamp(0.0, 1.0)).collect() };
         let (ap, an) = (pos(a), neg(a));
@@ -270,7 +278,10 @@ impl DotProductUnit {
     /// Energy ledger over everything this unit has done so far.
     pub fn energy_ledger(&self) -> EnergyLedger {
         let mut ledger = EnergyLedger::new();
-        ledger.add("laser", self.laser.config.wall_plug_w * self.seconds_active());
+        ledger.add(
+            "laser",
+            self.laser.config.wall_plug_w * self.seconds_active(),
+        );
         ledger.add("mzm-a", self.mzm_a.energy_consumed_j());
         ledger.add("mzm-b", self.mzm_b.energy_consumed_j());
         ledger.add("photodetector", self.pd.energy_consumed_j());
@@ -352,7 +363,10 @@ mod tests {
             dark_current_a: 0.0,
         });
         let got = unit.dot_nonneg(&[1.0], &[1.0]);
-        assert!(got < 0.5, "uncalibrated result should be badly low, got {got}");
+        assert!(
+            got < 0.5,
+            "uncalibrated result should be badly low, got {got}"
+        );
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl PatternMatcher {
     /// One physical pass: phase-encode, interfere, detect, integrate.
     /// Returns summed photocurrent at the difference port.
     fn raw_pass(&mut self, data: &[bool], pattern: &[bool]) -> f64 {
-        assert_eq!(data.len(), pattern.len(), "data and pattern must match in length");
+        assert_eq!(
+            data.len(),
+            pattern.len(),
+            "data and pattern must match in length"
+        );
         assert!(!data.is_empty(), "cannot match empty blocks");
         let n = data.len();
         let light = self.laser.emit(n, self.config.sample_rate_hz);
@@ -223,11 +227,7 @@ mod tests {
         let mut m = PatternMatcher::ideal();
         let data = bits("1011001110100101");
         let pattern = bits("1011001010100001");
-        let true_distance = data
-            .iter()
-            .zip(&pattern)
-            .filter(|(a, b)| a != b)
-            .count() as u64;
+        let true_distance = data.iter().zip(&pattern).filter(|(a, b)| a != b).count() as u64;
         let r = m.match_block(&data, &pattern);
         assert_eq!(r.hamming, true_distance);
         assert!(!r.matched);
@@ -301,7 +301,8 @@ mod tests {
             let mut rng = SimRng::seed_from_u64(2);
             let mut m = PatternMatcher::new(MatcherConfig::realistic(), &mut rng);
             m.calibrate(64);
-            m.match_block(&bits("10101010"), &bits("10100010")).distance_estimate
+            m.match_block(&bits("10101010"), &bits("10100010"))
+                .distance_estimate
         };
         assert_eq!(run(), run());
     }

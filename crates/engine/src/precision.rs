@@ -65,7 +65,11 @@ pub fn measure_precision(
     PrecisionReport {
         rms_error: rms,
         max_error: max_err,
-        effective_bits: if rms > 0.0 { (1.0 / rms).log2() } else { f64::INFINITY },
+        effective_bits: if rms > 0.0 {
+            (1.0 / rms).log2()
+        } else {
+            f64::INFINITY
+        },
         trials,
     }
 }

@@ -13,7 +13,9 @@
 
 use ofpc_photonics::coupler::Coupler;
 use ofpc_photonics::laser::{Laser, LaserConfig};
-use ofpc_photonics::modulator::{MachZehnderModulator, MzmConfig, PhaseModulator, PhaseModulatorConfig};
+use ofpc_photonics::modulator::{
+    MachZehnderModulator, MzmConfig, PhaseModulator, PhaseModulatorConfig,
+};
 use ofpc_photonics::photodetector::{Photodetector, PhotodetectorConfig};
 use ofpc_photonics::signal::AnalogWaveform;
 use ofpc_photonics::SimRng;
@@ -149,7 +151,11 @@ impl TernaryMatcher {
     }
 
     fn raw_pass(&mut self, data: &[bool], pattern: &[Tern]) -> f64 {
-        assert_eq!(data.len(), pattern.len(), "data and pattern must match in length");
+        assert_eq!(
+            data.len(),
+            pattern.len(),
+            "data and pattern must match in length"
+        );
         assert!(!data.is_empty(), "cannot match empty blocks");
         let n = data.len();
         let light = self.laser.emit(n, self.config.sample_rate_hz);
@@ -264,7 +270,11 @@ mod tests {
         let pattern = parse_pattern("1111****").unwrap();
         // Two mismatches in the cared half, garbage in the wild half.
         let r = m.match_block(&bits("10101010"), &pattern);
-        assert!((r.distance_estimate - 2.0).abs() < 0.1, "est {}", r.distance_estimate);
+        assert!(
+            (r.distance_estimate - 2.0).abs() < 0.1,
+            "est {}",
+            r.distance_estimate
+        );
     }
 
     #[test]

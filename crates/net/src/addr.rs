@@ -113,7 +113,9 @@ impl FromStr for Prefix {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, len) = s.split_once('/').ok_or_else(|| format!("bad prefix {s:?}"))?;
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad prefix {s:?}"))?;
         let addr: Addr = addr.parse()?;
         let len: u8 = len.parse().map_err(|_| format!("bad length {len:?}"))?;
         if len > 32 {

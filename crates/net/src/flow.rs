@@ -64,7 +64,13 @@ impl FlowSpec {
                     operands,
                 } => {
                     let pch = PchHeader::request(*primitive, *op_id, operands.len() as u16);
-                    Packet::compute(self.src, self.dst, id, pch, Packet::encode_operands(operands))
+                    Packet::compute(
+                        self.src,
+                        self.dst,
+                        id,
+                        pch,
+                        Packet::encode_operands(operands),
+                    )
                 }
             };
             out.push((t, packet));
@@ -87,9 +93,7 @@ impl FlowSpec {
                         crate::packet::IP_HEADER_BYTES + payload_bytes
                     }
                     FlowKind::Compute { operands, .. } => {
-                        crate::packet::IP_HEADER_BYTES
-                            + crate::pch::PCH_WIRE_BYTES
-                            + operands.len()
+                        crate::packet::IP_HEADER_BYTES + crate::pch::PCH_WIRE_BYTES + operands.len()
                     }
                 };
                 Some(bytes as f64 * 8.0 / (gap_ps as f64 / 1e12))

@@ -37,22 +37,9 @@ pub struct Packet {
     /// The compute header, present iff this is a compute packet.
     pub pch: Option<PchHeader>,
     /// Payload bytes (operand segment first for compute packets).
-    #[serde(with = "serde_bytes_compat")]
+    /// Serializes as a byte array (the vendored `bytes` implements the
+    /// serde traits directly).
     pub payload: Bytes,
-}
-
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl Packet {
@@ -93,7 +80,11 @@ impl Packet {
     /// Total size on the wire, bytes.
     pub fn wire_bytes(&self) -> usize {
         IP_HEADER_BYTES
-            + if self.pch.is_some() { PCH_WIRE_BYTES } else { 0 }
+            + if self.pch.is_some() {
+                PCH_WIRE_BYTES
+            } else {
+                0
+            }
             + self.payload.len()
     }
 

@@ -33,11 +33,7 @@ pub fn shortest_paths(topo: &Topology, src: NodeId) -> HashMap<NodeId, (u64, Opt
         }
         for (link_id, next) in topo.neighbors(node) {
             let nd = d + topo.link(link_id).delay_ps();
-            let first_hop = if node == src {
-                Some(link_id.0)
-            } else {
-                first
-            };
+            let first_hop = if node == src { Some(link_id.0) } else { first };
             let better = match dist.get(&next) {
                 Some(&(best, _)) => nd < best,
                 None => true,
@@ -123,17 +119,13 @@ impl RoutingTable {
         } else {
             self.entries.push((prefix, entry));
             // Keep sorted by descending prefix length for LPM.
-            self.entries.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+            self.entries
+                .sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
         }
     }
 
     /// Add a per-primitive override on an existing (or new) prefix entry.
-    pub fn install_compute_override(
-        &mut self,
-        prefix: Prefix,
-        primitive: Primitive,
-        link: LinkId,
-    ) {
+    pub fn install_compute_override(&mut self, prefix: Prefix, primitive: Primitive, link: LinkId) {
         if let Some(slot) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
             slot.1.compute_next_hop.insert(primitive.wire_id(), link);
         } else {
@@ -277,8 +269,14 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(rt.lookup("10.1.5.5".parse().unwrap(), None), Some(LinkId(2)));
-        assert_eq!(rt.lookup("10.2.5.5".parse().unwrap(), None), Some(LinkId(1)));
+        assert_eq!(
+            rt.lookup("10.1.5.5".parse().unwrap(), None),
+            Some(LinkId(2))
+        );
+        assert_eq!(
+            rt.lookup("10.2.5.5".parse().unwrap(), None),
+            Some(LinkId(1))
+        );
         assert_eq!(rt.lookup("11.0.0.1".parse().unwrap(), None), None);
         assert!(!rt.has_route("11.0.0.1".parse().unwrap()));
     }
@@ -322,7 +320,10 @@ mod tests {
             LinkId(3),
         );
         let dst: Addr = "10.1.1.1".parse().unwrap();
-        assert_eq!(rt.lookup(dst, Some(Primitive::PatternMatching)), Some(LinkId(3)));
+        assert_eq!(
+            rt.lookup(dst, Some(Primitive::PatternMatching)),
+            Some(LinkId(3))
+        );
         // Plain traffic has no next hop on that entry (local/no-route).
         assert_eq!(rt.lookup(dst, None), None);
     }
@@ -346,6 +347,9 @@ mod tests {
             },
         );
         assert_eq!(rt.len(), 1);
-        assert_eq!(rt.lookup("10.0.0.1".parse().unwrap(), None), Some(LinkId(2)));
+        assert_eq!(
+            rt.lookup("10.0.0.1".parse().unwrap(), None),
+            Some(LinkId(2))
+        );
     }
 }

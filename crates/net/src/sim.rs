@@ -312,7 +312,10 @@ impl Network {
     pub fn run_to_idle(&mut self) {
         let cap = 100_000_000;
         let ran = self.run(cap);
-        assert!(ran < cap, "simulation did not converge: possible routing loop");
+        assert!(
+            ran < cap,
+            "simulation did not converge: possible routing loop"
+        );
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -420,7 +423,12 @@ impl Network {
                 if weights.len() != n {
                     return None; // operand shape mismatch: skip
                 }
-                operands.iter().zip(weights).map(|(a, w)| a * w).sum::<f64>() + noise
+                operands
+                    .iter()
+                    .zip(weights)
+                    .map(|(a, w)| a * w)
+                    .sum::<f64>()
+                    + noise
             }
             OpSpec::Match { pattern } => {
                 if pattern.len() != n {
@@ -439,7 +447,11 @@ impl Network {
         slot.executions += 1;
         slot.macs += n as u64;
         slot.energy_j += n as f64 * constants::PHOTONIC_MAC_J + constants::ADC_SAMPLE_J;
-        packet.pch.as_mut().expect("checked above").mark_computed(result);
+        packet
+            .pch
+            .as_mut()
+            .expect("checked above")
+            .mark_computed(result);
         let symbol_ps = (n as f64 / ENGINE_SYMBOL_RATE_HZ * 1e12).round() as u64;
         Some(ENGINE_FIXED_LATENCY_PS + symbol_ps)
     }
@@ -531,13 +543,18 @@ mod tests {
     fn plain_packet_crosses_fig1() {
         let mut net = fig1_net();
         let (a, d) = a_d(&net);
-        let p = Packet::data(Network::node_addr(a, 1), Network::node_addr(d, 1), 1, vec![0u8; 100]);
+        let p = Packet::data(
+            Network::node_addr(a, 1),
+            Network::node_addr(d, 1),
+            1,
+            vec![0u8; 100],
+        );
         net.inject(0, a, p);
         net.run_to_idle();
         assert_eq!(net.stats.delivered_count(), 1);
         let rec = &net.stats.delivered[0];
         assert_eq!(rec.hops, 2); // A → B|C → D
-        // 1500 km of fiber ≈ 7.3 ms.
+                                 // 1500 km of fiber ≈ 7.3 ms.
         let ms = rec.latency_ms();
         assert!(ms > 7.0 && ms < 7.7, "latency {ms} ms");
         assert!(!rec.computed);
@@ -547,7 +564,12 @@ mod tests {
     fn local_delivery_is_instant() {
         let mut net = fig1_net();
         let (a, _) = a_d(&net);
-        let p = Packet::data(Network::node_addr(a, 1), Network::node_addr(a, 2), 1, vec![]);
+        let p = Packet::data(
+            Network::node_addr(a, 1),
+            Network::node_addr(a, 2),
+            1,
+            vec![],
+        );
         net.inject(100, a, p);
         net.run_to_idle();
         assert_eq!(net.stats.delivered_count(), 1);
@@ -561,7 +583,14 @@ mod tests {
         let (a, d) = a_d(&net);
         let b = net.topo.find_node("B").unwrap();
         let weights = vec![0.5, 0.5, 1.0, 0.25];
-        net.add_engine(b, 7, OpSpec::Dot { weights: weights.clone() }, 0.0);
+        net.add_engine(
+            b,
+            7,
+            OpSpec::Dot {
+                weights: weights.clone(),
+            },
+            0.0,
+        );
         net.install_compute_detour(Primitive::VectorDotProduct, b);
         let operands = vec![1.0, 0.5, 0.25, 1.0];
         let pch = PchHeader::request(Primitive::VectorDotProduct, 7, 4);
@@ -588,7 +617,14 @@ mod tests {
         let mut net = fig1_net();
         let (a, _) = a_d(&net);
         let b = net.topo.find_node("B").unwrap();
-        net.add_engine(b, 1, OpSpec::Dot { weights: vec![1.0, 1.0] }, 0.0);
+        net.add_engine(
+            b,
+            1,
+            OpSpec::Dot {
+                weights: vec![1.0, 1.0],
+            },
+            0.0,
+        );
         let pch = PchHeader::request(Primitive::VectorDotProduct, 1, 2);
         let p = Packet::compute(
             Network::node_addr(a, 1),
@@ -615,7 +651,12 @@ mod tests {
         net.install_compute_detour(Primitive::NonlinearFunction, c);
         // Plain packet: must take the default shortest path, and no
         // engine executes.
-        let p = Packet::data(Network::node_addr(a, 1), Network::node_addr(d, 1), 1, vec![0; 10]);
+        let p = Packet::data(
+            Network::node_addr(a, 1),
+            Network::node_addr(d, 1),
+            1,
+            vec![0; 10],
+        );
         net.inject(0, a, p);
         net.run_to_idle();
         assert_eq!(net.stats.delivered_count(), 1);
@@ -629,7 +670,14 @@ mod tests {
         let mut net = fig1_net();
         let (a, d) = a_d(&net);
         let b = net.topo.find_node("B").unwrap();
-        net.add_engine(b, 2, OpSpec::Match { pattern: vec![true, false] }, 0.0);
+        net.add_engine(
+            b,
+            2,
+            OpSpec::Match {
+                pattern: vec![true, false],
+            },
+            0.0,
+        );
         net.install_compute_detour(Primitive::PatternMatching, b);
         let pch = PchHeader::request(Primitive::PatternMatching, 2, 2);
         let p = Packet::compute(
@@ -674,7 +722,12 @@ mod tests {
         let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
         // No routes installed at all.
         let (a, d) = a_d(&net);
-        let p = Packet::data(Network::node_addr(a, 1), Network::node_addr(d, 1), 1, vec![]);
+        let p = Packet::data(
+            Network::node_addr(a, 1),
+            Network::node_addr(d, 1),
+            1,
+            vec![],
+        );
         net.inject(0, a, p);
         net.run_to_idle();
         assert_eq!(net.stats.delivered_count(), 0);
@@ -768,7 +821,14 @@ mod tests {
             let mut net = fig1_net();
             let (a, d) = a_d(&net);
             let b = net.topo.find_node("B").unwrap();
-            net.add_engine(b, 1, OpSpec::Dot { weights: vec![0.5; 8] }, 0.01);
+            net.add_engine(
+                b,
+                1,
+                OpSpec::Dot {
+                    weights: vec![0.5; 8],
+                },
+                0.01,
+            );
             net.install_compute_detour(Primitive::VectorDotProduct, b);
             for id in 0..20 {
                 let pch = PchHeader::request(Primitive::VectorDotProduct, 1, 8);
@@ -794,7 +854,10 @@ mod tests {
     #[test]
     fn addr_node_mapping() {
         let net = fig1_net();
-        assert_eq!(net.addr_node(Network::node_addr(NodeId(2), 5)), Some(NodeId(2)));
+        assert_eq!(
+            net.addr_node(Network::node_addr(NodeId(2), 5)),
+            Some(NodeId(2))
+        );
         assert_eq!(net.addr_node("11.0.0.1".parse().unwrap()), None);
         assert_eq!(net.addr_node("10.0.99.1".parse().unwrap()), None);
     }

@@ -57,10 +57,7 @@ impl StatsCollector {
     /// Latency percentile in milliseconds over delivered packets.
     /// `q` in `[0, 1]`. Returns `None` when nothing was delivered.
     pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
-        percentile(
-            self.delivered.iter().map(|r| r.latency_ms()).collect(),
-            q,
-        )
+        percentile(self.delivered.iter().map(|r| r.latency_ms()).collect(), q)
     }
 
     pub fn mean_latency_ms(&self) -> Option<f64> {

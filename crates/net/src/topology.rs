@@ -88,7 +88,10 @@ impl Topology {
         assert!(a != b, "self-loops are not allowed");
         assert!((a.0 as usize) < self.nodes.len(), "node {a:?} out of range");
         assert!((b.0 as usize) < self.nodes.len(), "node {b:?} out of range");
-        assert!(length_km >= 0.0 && capacity_bps > 0.0, "bad link parameters");
+        assert!(
+            length_km >= 0.0 && capacity_bps > 0.0,
+            "bad link parameters"
+        );
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link {
             a,
@@ -172,8 +175,17 @@ impl Topology {
     pub fn abilene() -> Self {
         let mut t = Topology::new();
         let names = [
-            "Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity", "Houston",
-            "Chicago", "Indianapolis", "Atlanta", "WashingtonDC", "NewYork",
+            "Seattle",
+            "Sunnyvale",
+            "LosAngeles",
+            "Denver",
+            "KansasCity",
+            "Houston",
+            "Chicago",
+            "Indianapolis",
+            "Atlanta",
+            "WashingtonDC",
+            "NewYork",
         ];
         let ids: Vec<NodeId> = names.iter().map(|n| t.add_node(*n)).collect();
         let links = [
@@ -225,9 +237,12 @@ impl Topology {
     pub fn leaf_spine(leaves: usize, spines: usize, km: f64) -> Self {
         assert!(leaves >= 2 && spines >= 1, "need ≥2 leaves and ≥1 spine");
         let mut t = Topology::new();
-        let leaf_ids: Vec<NodeId> = (0..leaves).map(|i| t.add_node(format!("leaf{i}"))).collect();
-        let spine_ids: Vec<NodeId> =
-            (0..spines).map(|i| t.add_node(format!("spine{i}"))).collect();
+        let leaf_ids: Vec<NodeId> = (0..leaves)
+            .map(|i| t.add_node(format!("leaf{i}")))
+            .collect();
+        let spine_ids: Vec<NodeId> = (0..spines)
+            .map(|i| t.add_node(format!("spine{i}")))
+            .collect();
         for &l in &leaf_ids {
             for &s in &spine_ids {
                 t.add_link(l, s, km);

@@ -106,7 +106,12 @@ impl Edfa {
     /// Output OSNR (dB) for a given input power, assuming this is the
     /// only noise source — the per-span OSNR building block of link
     /// budgets.
-    pub fn output_osnr_db(&self, input_power_w: f64, sample_rate_hz: f64, wavelength_m: f64) -> f64 {
+    pub fn output_osnr_db(
+        &self,
+        input_power_w: f64,
+        sample_rate_hz: f64,
+        wavelength_m: f64,
+    ) -> f64 {
         let gain = units::db_to_linear(self.config.gain_db);
         let p_sig = input_power_w * gain;
         let p_ase = self.ase_power_w(sample_rate_hz, wavelength_m);

@@ -59,7 +59,10 @@ pub struct Dac {
 
 impl Dac {
     pub fn new(config: ConverterConfig, rng: SimRng) -> Self {
-        assert!(config.bits >= 1 && config.bits <= 24, "unreasonable DAC resolution");
+        assert!(
+            config.bits >= 1 && config.bits <= 24,
+            "unreasonable DAC resolution"
+        );
         Dac {
             config,
             rng,
@@ -115,7 +118,10 @@ pub struct Adc {
 
 impl Adc {
     pub fn new(config: ConverterConfig, rng: SimRng) -> Self {
-        assert!(config.bits >= 1 && config.bits <= 24, "unreasonable ADC resolution");
+        assert!(
+            config.bits >= 1 && config.bits <= 24,
+            "unreasonable ADC resolution"
+        );
         Adc {
             config,
             rng,

@@ -87,8 +87,7 @@ impl FiberSpan {
         out.attenuate_db(self.total_loss_db());
         // Carrier phase modulo 2π (physically exact phase is enormous;
         // only the modulo matters for interference downstream).
-        let phase = (std::f64::consts::TAU * self.length_km * 1e3
-            / input.wavelength_m)
+        let phase = (std::f64::consts::TAU * self.length_km * 1e3 / input.wavelength_m)
             % std::f64::consts::TAU;
         out.rotate_phase(phase);
         let disp_bw = self.dispersion_limited_bandwidth_hz(input.wavelength_m);
@@ -185,7 +184,13 @@ mod tests {
         let out = span.propagate(&input);
         // Contrast between even and odd samples collapses.
         let even: f64 = out.samples.iter().step_by(2).map(|s| s.norm_sqr()).sum();
-        let odd: f64 = out.samples.iter().skip(1).step_by(2).map(|s| s.norm_sqr()).sum();
+        let odd: f64 = out
+            .samples
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|s| s.norm_sqr())
+            .sum();
         let contrast = (even - odd).abs() / (even + odd).max(1e-30);
         assert!(contrast < 0.2, "contrast {contrast}");
     }

@@ -159,7 +159,11 @@ impl CoherentReceiver {
         let q_n = self.pd_qn.detect(&p_qn);
         let diff = |a: &AnalogWaveform, b: &AnalogWaveform| {
             AnalogWaveform::new(
-                a.samples.iter().zip(&b.samples).map(|(x, y)| x - y).collect(),
+                a.samples
+                    .iter()
+                    .zip(&b.samples)
+                    .map(|(x, y)| x - y)
+                    .collect(),
                 signal.sample_rate_hz,
             )
         };
@@ -186,11 +190,15 @@ mod tests {
         let carrier = OpticalField::cw(4, 1e-3, RATE, WL);
         let amps = [(1.0, 0.0), (0.0, 1.0), (-1.0, 0.0), (0.7, -0.7)];
         let di = AnalogWaveform::new(
-            amps.iter().map(|&(i, _)| iq.drive_for_amplitude(i)).collect(),
+            amps.iter()
+                .map(|&(i, _)| iq.drive_for_amplitude(i))
+                .collect(),
             RATE,
         );
         let dq = AnalogWaveform::new(
-            amps.iter().map(|&(_, q)| iq.drive_for_amplitude(q)).collect(),
+            amps.iter()
+                .map(|&(_, q)| iq.drive_for_amplitude(q))
+                .collect(),
             RATE,
         );
         let out = iq.modulate(&carrier, &di, &dq);
@@ -261,11 +269,17 @@ mod tests {
             })
             .collect();
         let di = AnalogWaveform::new(
-            symbols.iter().map(|&(i, _)| iq.drive_for_amplitude(i)).collect(),
+            symbols
+                .iter()
+                .map(|&(i, _)| iq.drive_for_amplitude(i))
+                .collect(),
             RATE,
         );
         let dq = AnalogWaveform::new(
-            symbols.iter().map(|&(_, q)| iq.drive_for_amplitude(q)).collect(),
+            symbols
+                .iter()
+                .map(|&(_, q)| iq.drive_for_amplitude(q))
+                .collect(),
             RATE,
         );
         let field = iq.modulate(&carrier, &di, &dq);

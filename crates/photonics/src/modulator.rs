@@ -106,8 +106,8 @@ impl MachZehnderModulator {
     /// `t(v) = sin(π v / (2 Vπ) + φ_bias)`, floored by the extinction
     /// ratio and scaled by insertion loss. Power transmission is `t²`.
     pub fn amplitude_transmission(&self, v: f64) -> f64 {
-        let theta = std::f64::consts::PI * v / (2.0 * self.config.v_pi)
-            + self.config.bias.phase_offset();
+        let theta =
+            std::f64::consts::PI * v / (2.0 * self.config.v_pi) + self.config.bias.phase_offset();
         let t = theta.sin();
         let floor = if self.config.extinction_ratio_db.is_finite() {
             units::db_to_linear(-self.config.extinction_ratio_db).sqrt()
@@ -134,8 +134,7 @@ impl MachZehnderModulator {
     pub fn drive_for_transmission(&self, target: f64) -> f64 {
         let target = target.clamp(0.0, 1.0);
         let theta = target.sqrt().asin();
-        (theta - self.config.bias.phase_offset()) * 2.0 * self.config.v_pi
-            / std::f64::consts::PI
+        (theta - self.config.bias.phase_offset()) * 2.0 * self.config.v_pi / std::f64::consts::PI
     }
 
     /// Modulate `input` with the drive waveform; sample `i` of the output
@@ -385,7 +384,9 @@ mod tests {
         let input = cw(64);
         let v_full = fast.drive_for_transmission(1.0);
         let drive = AnalogWaveform::new(
-            (0..64).map(|i| if i % 2 == 0 { v_full } else { 0.0 }).collect(),
+            (0..64)
+                .map(|i| if i % 2 == 0 { v_full } else { 0.0 })
+                .collect(),
             RATE,
         );
         let out_bw = fast.modulate(&input, &drive);
@@ -398,6 +399,9 @@ mod tests {
                 - tail.iter().fold(f64::MAX, |m, &p| m.min(p))
         };
         let (swing_bw, swing_ideal) = (swing(&out_bw), swing(&out_ideal));
-        assert!(swing_bw < 0.5 * swing_ideal, "swing {swing_bw} vs {swing_ideal}");
+        assert!(
+            swing_bw < 0.5 * swing_ideal,
+            "swing {swing_bw} vs {swing_ideal}"
+        );
     }
 }

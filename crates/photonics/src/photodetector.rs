@@ -240,8 +240,7 @@ mod tests {
         let f = OpticalField::cw(40_000, 1e-3, RATE, WL);
         let out = pd.detect(&f);
         let mean = out.mean();
-        let var = out.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / out.len() as f64;
+        let var = out.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / out.len() as f64;
         let expect = noise::shot_noise_sigma_a(1e-3, RATE / 2.0);
         assert!(
             (var.sqrt() - expect).abs() / expect < 0.05,

@@ -5,21 +5,31 @@
 //! seeded by the experiment harness. Two runs with the same seed produce
 //! bit-identical results, which the replay tests in `tests/` rely on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded random-number generator with the Gaussian sampler the noise
-/// models need. Wraps [`StdRng`] so the choice of algorithm appears once.
+/// models need. The generator is an inline xoshiro256** (public-domain
+/// algorithm by Blackman & Vigna) seeded through SplitMix64, so the whole
+/// workspace builds with no external RNG crate and the stream is stable
+/// across toolchains — the replay tests pin exact output bytes.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit experiment seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state, as the
+        // xoshiro authors recommend (never yields the all-zero state).
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -34,14 +44,14 @@ impl SimRng {
             seed ^= b as u64;
             seed = seed.wrapping_mul(0x1000_0000_01b3);
         }
-        seed ^= self.inner.gen::<u64>();
+        seed ^= self.next_u64();
         SimRng::seed_from_u64(seed)
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)` (53 bits of precision).
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -50,16 +60,26 @@ impl SimRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    /// Uniform integer in `[0, n)` via Lemire's widening-multiply
+    /// reduction (unbiased to ~2^-64, deterministic). Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0) is meaningless");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
-    /// Raw 64-bit sample.
+    /// Raw 64-bit sample (xoshiro256** output function).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Standard normal sample via Box–Muller (no `rand_distr` offline).

@@ -259,7 +259,9 @@ mod tests {
     fn lowpass_attenuates_alternating_signal() {
         // Nyquist-rate square wave should be heavily attenuated by a
         // cutoff far below the sample rate.
-        let samples: Vec<f64> = (0..512).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let samples: Vec<f64> = (0..512)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut w = AnalogWaveform::new(samples, RATE);
         w.lowpass(RATE / 100.0);
         // Judge the steady state (skip the startup transient).

@@ -1,0 +1,260 @@
+//! Admission control: bounded per-tenant queues with weighted fair
+//! dequeue and explicit load shedding.
+//!
+//! Every tenant owns a FIFO of admitted requests with a hard capacity —
+//! arrivals beyond it are shed immediately with [`ShedReason::QueueFull`]
+//! (backpressure, never silent loss). The batcher drains tenants through
+//! deficit round robin (DRR) weighted by the tenant's share, the classic
+//! O(1) approximation of weighted fair queueing: under overload each
+//! tenant's goodput converges to `weight_i / Σ weight` of capacity, while
+//! an underloaded tenant's unused share flows to the others.
+
+use crate::request::{ComputeRequest, ShedReason, TenantId};
+use std::collections::VecDeque;
+
+/// Per-tenant admission state.
+#[derive(Debug)]
+struct TenantQueue {
+    queue: VecDeque<ComputeRequest>,
+    capacity: usize,
+    weight: u32,
+    /// DRR deficit counter, in request-credits scaled by 1000.
+    deficit: u64,
+}
+
+/// The admission controller over all tenants.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    tenants: Vec<TenantQueue>,
+    /// Round-robin scan position, so drains resume fairly.
+    cursor: usize,
+    /// Requests shed at the door or while queued, to be drained by the
+    /// runtime and recorded — shedding is an explicit outcome.
+    shed: Vec<(ComputeRequest, ShedReason)>,
+}
+
+/// DRR quantum granted per weight unit each round (scaled credits; 1000
+/// credits = one request).
+const CREDITS_PER_WEIGHT: u64 = 1000;
+
+impl AdmissionControl {
+    /// Build with one `(capacity, weight)` pair per tenant. Weights are
+    /// relative; zero weights are rejected.
+    pub fn new(tenant_caps_weights: &[(usize, u32)]) -> Self {
+        assert!(!tenant_caps_weights.is_empty(), "need at least one tenant");
+        let tenants = tenant_caps_weights
+            .iter()
+            .map(|&(capacity, weight)| {
+                assert!(capacity > 0, "tenant queue capacity must be positive");
+                assert!(weight > 0, "tenant weight must be positive");
+                TenantQueue {
+                    queue: VecDeque::new(),
+                    capacity,
+                    weight,
+                    deficit: 0,
+                }
+            })
+            .collect();
+        AdmissionControl {
+            tenants,
+            cursor: 0,
+            shed: Vec::new(),
+        }
+    }
+
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Admit or shed an arriving request. Returns `true` when admitted.
+    pub fn offer(&mut self, req: ComputeRequest) -> bool {
+        let t = &mut self.tenants[req.tenant.0 as usize];
+        if t.queue.len() >= t.capacity {
+            self.shed.push((req, ShedReason::QueueFull));
+            false
+        } else {
+            t.queue.push_back(req);
+            true
+        }
+    }
+
+    /// Total queued requests across tenants.
+    pub fn queued(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// Queue depth of one tenant.
+    pub fn queued_for(&self, tenant: TenantId) -> usize {
+        self.tenants[tenant.0 as usize].queue.len()
+    }
+
+    /// Drop queued requests whose deadline has passed, shedding them
+    /// explicitly. Returns how many were expired.
+    pub fn expire_stale(&mut self, now_ps: u64) -> usize {
+        let mut n = 0;
+        for t in &mut self.tenants {
+            while let Some(front) = t.queue.front() {
+                if front.expired(now_ps) {
+                    let req = t.queue.pop_front().expect("front exists");
+                    self.shed.push((req, ShedReason::DeadlineExpiredQueued));
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        n
+    }
+
+    /// Weighted-fair drain of up to `max` requests (deficit round robin).
+    /// Skips requests already past deadline (shedding them) and never
+    /// returns more than `max`.
+    pub fn drain_fair(&mut self, max: usize, now_ps: u64) -> Vec<ComputeRequest> {
+        let mut out = Vec::new();
+        if max == 0 || self.queued() == 0 {
+            return out;
+        }
+        let n = self.tenants.len();
+        // Bound rounds: each full scan either drains something or proves
+        // all queues empty.
+        while out.len() < max && self.queued() > 0 {
+            let mut progressed = false;
+            for off in 0..n {
+                let i = (self.cursor + off) % n;
+                let t = &mut self.tenants[i];
+                if t.queue.is_empty() {
+                    // An idle tenant banks no credit (DRR resets deficit
+                    // for empty queues so idle time is not hoardable).
+                    t.deficit = 0;
+                    continue;
+                }
+                t.deficit += u64::from(t.weight) * CREDITS_PER_WEIGHT;
+                while t.deficit >= CREDITS_PER_WEIGHT && !t.queue.is_empty() && out.len() < max {
+                    let req = t.queue.pop_front().expect("non-empty");
+                    t.deficit -= CREDITS_PER_WEIGHT;
+                    if req.expired(now_ps) {
+                        self.shed.push((req, ShedReason::DeadlineExpiredQueued));
+                    } else {
+                        out.push(req);
+                    }
+                    progressed = true;
+                }
+                if out.len() >= max {
+                    // Resume after this tenant next time.
+                    self.cursor = (i + 1) % n;
+                    return out;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Take the accumulated shed records (explicit outcomes for the
+    /// metrics layer).
+    pub fn take_shed(&mut self) -> Vec<(ComputeRequest, ShedReason)> {
+        std::mem::take(&mut self.shed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use ofpc_engine::Primitive;
+
+    fn req(id: u64, tenant: u32, deadline: u64) -> ComputeRequest {
+        ComputeRequest {
+            id: RequestId(id),
+            tenant: TenantId(tenant),
+            primitive: Primitive::VectorDotProduct,
+            operand_len: 8,
+            arrival_ps: 0,
+            deadline_ps: deadline,
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_reason() {
+        let mut ac = AdmissionControl::new(&[(2, 1)]);
+        assert!(ac.offer(req(1, 0, 100)));
+        assert!(ac.offer(req(2, 0, 100)));
+        assert!(!ac.offer(req(3, 0, 100)));
+        let shed = ac.take_shed();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0.id, RequestId(3));
+        assert_eq!(shed[0].1, ShedReason::QueueFull);
+    }
+
+    #[test]
+    fn drain_respects_weights_under_backlog() {
+        // Tenant 0 weight 3, tenant 1 weight 1; both deeply backlogged.
+        let mut ac = AdmissionControl::new(&[(100, 3), (100, 1)]);
+        for i in 0..100 {
+            ac.offer(req(i, 0, u64::MAX));
+            ac.offer(req(100 + i, 1, u64::MAX));
+        }
+        let drained = ac.drain_fair(40, 0);
+        assert_eq!(drained.len(), 40);
+        let t0 = drained.iter().filter(|r| r.tenant == TenantId(0)).count();
+        let t1 = drained.len() - t0;
+        // 3:1 split with rounding slop.
+        assert!((28..=32).contains(&t0), "t0 got {t0}");
+        assert!((8..=12).contains(&t1), "t1 got {t1}");
+    }
+
+    #[test]
+    fn idle_tenant_share_flows_to_busy_tenant() {
+        let mut ac = AdmissionControl::new(&[(100, 1), (100, 1)]);
+        for i in 0..50 {
+            ac.offer(req(i, 0, u64::MAX));
+        }
+        let drained = ac.drain_fair(30, 0);
+        assert_eq!(drained.len(), 30);
+        assert!(drained.iter().all(|r| r.tenant == TenantId(0)));
+    }
+
+    #[test]
+    fn expired_requests_are_shed_not_returned() {
+        let mut ac = AdmissionControl::new(&[(10, 1)]);
+        ac.offer(req(1, 0, 50));
+        ac.offer(req(2, 0, 500));
+        let drained = ac.drain_fair(10, 100);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id, RequestId(2));
+        let shed = ac.take_shed();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].1, ShedReason::DeadlineExpiredQueued);
+    }
+
+    #[test]
+    fn expire_stale_sweeps_queue_heads() {
+        let mut ac = AdmissionControl::new(&[(10, 1), (10, 1)]);
+        ac.offer(req(1, 0, 10));
+        ac.offer(req(2, 0, 20));
+        ac.offer(req(3, 1, 5));
+        assert_eq!(ac.expire_stale(15), 2);
+        assert_eq!(ac.queued(), 1);
+        assert_eq!(ac.take_shed().len(), 2);
+    }
+
+    #[test]
+    fn conservation_nothing_lost() {
+        let mut ac = AdmissionControl::new(&[(5, 2), (5, 1)]);
+        let mut offered = 0;
+        for i in 0..20 {
+            ac.offer(req(
+                i,
+                (i % 2) as u32,
+                if i % 3 == 0 { 1 } else { u64::MAX },
+            ));
+            offered += 1;
+        }
+        let drained = ac.drain_fair(100, 10).len();
+        let shed = ac.take_shed().len();
+        let queued = ac.queued();
+        assert_eq!(drained + shed + queued, offered);
+    }
+}

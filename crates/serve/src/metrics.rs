@@ -1,0 +1,332 @@
+//! Serving metrics: what makes a photonic accelerator comparable to a
+//! digital inference stack.
+//!
+//! Collectors are exact (latencies kept as integer picoseconds, sorted at
+//! report time) and the report serializes deterministically — a fixed
+//! seed must yield byte-identical JSON, which the replay tests enforce.
+//! Conservation is checked structurally: every arrival is completed,
+//! shed (with a reason), or still in flight at the horizon; nothing is
+//! silently dropped.
+
+use crate::request::{Outcome, ShedReason, TenantId};
+use serde::{Deserialize, Serialize};
+
+/// Per-tenant running counters.
+#[derive(Debug, Clone, Default)]
+pub struct TenantCollector {
+    pub arrivals: u64,
+    pub completed: u64,
+    pub shed_queue_full: u64,
+    pub shed_expired_queued: u64,
+    pub shed_expired_serving: u64,
+    /// Completed-request latencies, ps (exact, sorted at report time).
+    latencies_ps: Vec<u64>,
+    pub energy_j: f64,
+    batch_size_sum: u64,
+}
+
+impl TenantCollector {
+    fn record(&mut self, outcome: &Outcome) {
+        match *outcome {
+            Outcome::Completed {
+                latency_ps,
+                batch_size,
+                energy_j,
+            } => {
+                self.completed += 1;
+                self.latencies_ps.push(latency_ps);
+                self.energy_j += energy_j;
+                self.batch_size_sum += u64::from(batch_size);
+            }
+            Outcome::Shed { reason } => match reason {
+                ShedReason::QueueFull => self.shed_queue_full += 1,
+                ShedReason::DeadlineExpiredQueued => self.shed_expired_queued += 1,
+                ShedReason::DeadlineExpiredServing => self.shed_expired_serving += 1,
+            },
+        }
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_expired_queued + self.shed_expired_serving
+    }
+}
+
+/// Exact percentile over integer latencies (nearest-rank).
+fn percentile_ps(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// The metrics sink the runtime feeds.
+#[derive(Debug)]
+pub struct MetricsSink {
+    tenants: Vec<TenantCollector>,
+    /// Dispatched batch sizes (occupancy numerator/denominator).
+    batch_sizes: Vec<u32>,
+    /// Energy by hardware stage, deterministic order.
+    pub energy_stages: std::collections::BTreeMap<String, f64>,
+    /// Sampled verification results: |photonic − digital| per sample.
+    pub verify_abs_errors: Vec<f64>,
+}
+
+impl MetricsSink {
+    pub fn new(tenant_count: usize) -> Self {
+        MetricsSink {
+            tenants: vec![TenantCollector::default(); tenant_count],
+            batch_sizes: Vec::new(),
+            energy_stages: std::collections::BTreeMap::new(),
+            verify_abs_errors: Vec::new(),
+        }
+    }
+
+    pub fn on_arrival(&mut self, tenant: TenantId) {
+        self.tenants[tenant.0 as usize].arrivals += 1;
+    }
+
+    pub fn on_outcome(&mut self, tenant: TenantId, outcome: &Outcome) {
+        self.tenants[tenant.0 as usize].record(outcome);
+    }
+
+    pub fn on_batch(&mut self, size: u32) {
+        self.batch_sizes.push(size);
+    }
+
+    pub fn add_stage_energy(&mut self, stage: &str, joules: f64) {
+        *self.energy_stages.entry(stage.to_string()).or_insert(0.0) += joules;
+    }
+
+    pub fn tenant(&self, t: TenantId) -> &TenantCollector {
+        &self.tenants[t.0 as usize]
+    }
+
+    pub fn arrivals_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.arrivals).sum()
+    }
+
+    pub fn completed_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.tenants.iter().map(TenantCollector::shed_total).sum()
+    }
+
+    /// Build the final report. `unfinished` are requests still queued or
+    /// in flight at the horizon; they must make conservation hold.
+    pub fn report(&self, duration_s: f64, unfinished: u64, max_batch: usize) -> ServeReport {
+        let mut tenants = Vec::new();
+        for (i, t) in self.tenants.iter().enumerate() {
+            let mut lat = t.latencies_ps.clone();
+            lat.sort_unstable();
+            tenants.push(TenantReport {
+                tenant: TenantId(i as u32),
+                arrivals: t.arrivals,
+                completed: t.completed,
+                shed_queue_full: t.shed_queue_full,
+                shed_expired_queued: t.shed_expired_queued,
+                shed_expired_serving: t.shed_expired_serving,
+                goodput_rps: t.completed as f64 / duration_s,
+                p50_latency_us: percentile_ps(&lat, 0.50).map(|v| v as f64 / 1e6),
+                p99_latency_us: percentile_ps(&lat, 0.99).map(|v| v as f64 / 1e6),
+                p999_latency_us: percentile_ps(&lat, 0.999).map(|v| v as f64 / 1e6),
+                mean_batch_size: if t.completed > 0 {
+                    t.batch_size_sum as f64 / t.completed as f64
+                } else {
+                    0.0
+                },
+                energy_j: t.energy_j,
+                joules_per_request: if t.completed > 0 {
+                    t.energy_j / t.completed as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+        let arrivals = self.arrivals_total();
+        let completed = self.completed_total();
+        let shed = self.shed_total();
+        debug_assert_eq!(
+            arrivals,
+            completed + shed + unfinished,
+            "request conservation violated"
+        );
+        let mut all_lat: Vec<u64> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.latencies_ps.iter().copied())
+            .collect();
+        all_lat.sort_unstable();
+        let occupancy = if self.batch_sizes.is_empty() {
+            0.0
+        } else {
+            self.batch_sizes.iter().map(|&s| s as f64).sum::<f64>()
+                / (self.batch_sizes.len() * max_batch) as f64
+        };
+        let energy_total: f64 = self.energy_stages.values().sum();
+        ServeReport {
+            duration_s,
+            arrivals,
+            completed,
+            shed,
+            unfinished,
+            offered_rps: arrivals as f64 / duration_s,
+            goodput_rps: completed as f64 / duration_s,
+            shed_rate: if arrivals > 0 {
+                shed as f64 / arrivals as f64
+            } else {
+                0.0
+            },
+            p50_latency_us: percentile_ps(&all_lat, 0.50).map(|v| v as f64 / 1e6),
+            p99_latency_us: percentile_ps(&all_lat, 0.99).map(|v| v as f64 / 1e6),
+            p999_latency_us: percentile_ps(&all_lat, 0.999).map(|v| v as f64 / 1e6),
+            batches: self.batch_sizes.len() as u64,
+            mean_batch_occupancy: occupancy,
+            energy_total_j: energy_total,
+            joules_per_completed: if completed > 0 {
+                energy_total / completed as f64
+            } else {
+                0.0
+            },
+            energy_stages_j: self.energy_stages.clone(),
+            verified_samples: self.verify_abs_errors.len() as u64,
+            verify_mean_abs_error: if self.verify_abs_errors.is_empty() {
+                0.0
+            } else {
+                self.verify_abs_errors.iter().sum::<f64>() / self.verify_abs_errors.len() as f64
+            },
+            tenants,
+        }
+    }
+}
+
+/// Per-tenant slice of the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    pub tenant: TenantId,
+    pub arrivals: u64,
+    pub completed: u64,
+    pub shed_queue_full: u64,
+    pub shed_expired_queued: u64,
+    pub shed_expired_serving: u64,
+    pub goodput_rps: f64,
+    pub p50_latency_us: Option<f64>,
+    pub p99_latency_us: Option<f64>,
+    pub p999_latency_us: Option<f64>,
+    pub mean_batch_size: f64,
+    pub energy_j: f64,
+    pub joules_per_request: f64,
+}
+
+/// One serving run's summary, serialized for the bench harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    pub duration_s: f64,
+    pub arrivals: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub unfinished: u64,
+    pub offered_rps: f64,
+    pub goodput_rps: f64,
+    pub shed_rate: f64,
+    pub p50_latency_us: Option<f64>,
+    pub p99_latency_us: Option<f64>,
+    pub p999_latency_us: Option<f64>,
+    pub batches: u64,
+    pub mean_batch_occupancy: f64,
+    pub energy_total_j: f64,
+    pub joules_per_completed: f64,
+    pub energy_stages_j: std::collections::BTreeMap<String, f64>,
+    pub verified_samples: u64,
+    pub verify_mean_abs_error: f64,
+    pub tenants: Vec<TenantReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ps(&v, 0.50), Some(50));
+        assert_eq!(percentile_ps(&v, 0.99), Some(99));
+        assert_eq!(percentile_ps(&v, 0.999), Some(100));
+        assert_eq!(percentile_ps(&[], 0.5), None);
+        assert_eq!(percentile_ps(&[7], 0.999), Some(7));
+    }
+
+    #[test]
+    fn conservation_and_rates() {
+        let mut m = MetricsSink::new(2);
+        for _ in 0..10 {
+            m.on_arrival(TenantId(0));
+        }
+        for _ in 0..5 {
+            m.on_arrival(TenantId(1));
+        }
+        for i in 0..8 {
+            m.on_outcome(
+                TenantId(0),
+                &Outcome::Completed {
+                    latency_ps: 1_000_000 * (i + 1),
+                    batch_size: 4,
+                    energy_j: 1e-9,
+                },
+            );
+        }
+        for _ in 0..2 {
+            m.on_outcome(
+                TenantId(0),
+                &Outcome::Shed {
+                    reason: ShedReason::QueueFull,
+                },
+            );
+        }
+        for _ in 0..5 {
+            m.on_outcome(
+                TenantId(1),
+                &Outcome::Shed {
+                    reason: ShedReason::DeadlineExpiredQueued,
+                },
+            );
+        }
+        m.on_batch(4);
+        m.on_batch(2);
+        m.add_stage_energy("photonic-mac", 2e-9);
+        let r = m.report(1.0, 0, 4);
+        assert_eq!(r.arrivals, 15);
+        assert_eq!(r.completed, 8);
+        assert_eq!(r.shed, 7);
+        assert!((r.shed_rate - 7.0 / 15.0).abs() < 1e-12);
+        assert_eq!(r.batches, 2);
+        assert!((r.mean_batch_occupancy - 6.0 / 8.0).abs() < 1e-12);
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].completed, 8);
+        assert_eq!(r.tenants[1].shed_expired_queued, 5);
+        assert!(r.tenants[0].p50_latency_us.is_some());
+        assert!(r.tenants[1].p50_latency_us.is_none());
+    }
+
+    #[test]
+    fn report_serializes_deterministically() {
+        let build = || {
+            let mut m = MetricsSink::new(1);
+            m.on_arrival(TenantId(0));
+            m.on_outcome(
+                TenantId(0),
+                &Outcome::Completed {
+                    latency_ps: 123_456,
+                    batch_size: 1,
+                    energy_j: 3.25e-10,
+                },
+            );
+            m.add_stage_energy("laser-supply", 1e-10);
+            m.add_stage_energy("operand-dac", 2e-10);
+            serde_json::to_string_pretty(&m.report(0.5, 0, 8)).unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,435 @@
+//! The serving runtime: a deterministic, sans-IO event loop driving
+//! arrivals → admission → batching → scheduling → completion.
+//!
+//! Time is virtual (integer picoseconds) and every data structure
+//! iterates in a fixed order, so two runs with the same [`ServeConfig`]
+//! produce byte-identical metrics JSON — the serving replay test pins
+//! this. The loop is event-driven: arrivals, batch timeouts, and slot
+//! releases are the only wake-ups, and after each one the pipeline
+//! (expire → fair drain → batch → dispatch) runs to a fixed point.
+//!
+//! Completions are recorded at their computed delivery time when the
+//! batch is dispatched; after the arrival horizon the loop keeps running
+//! through a drain grace window so in-flight work finishes. Whatever is
+//! still queued at the end is reported as `unfinished` — conservation
+//! (`arrivals = completed + shed + unfinished`) is asserted in the
+//! report.
+
+use crate::admission::AdmissionControl;
+use crate::arrivals::{ArrivalProcess, ArrivalSpec};
+use crate::batcher::{BatchPolicy, Batcher};
+use crate::metrics::{MetricsSink, ServeReport};
+use crate::request::{ComputeRequest, Outcome, RequestId, TenantId};
+use crate::scheduler::{Scheduler, ServiceModel, SiteSpec};
+use ofpc_core::OnFiberNetwork;
+use ofpc_engine::dot::{DotProductUnit, DotUnitConfig};
+use ofpc_engine::Primitive;
+use ofpc_net::routing::shortest_paths;
+use ofpc_net::NodeId;
+use ofpc_photonics::SimRng;
+use ofpc_transponder::compute::ComputeTransponderConfig;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One tenant's serving contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    pub name: String,
+    /// Relative fair-share weight (> 0).
+    pub weight: u32,
+    /// Admission queue capacity (> 0); beyond it arrivals shed.
+    pub queue_capacity: usize,
+    pub arrivals: ArrivalSpec,
+    pub primitive: Primitive,
+    /// Operand vector length per request.
+    pub operand_len: usize,
+    /// Completion deadline relative to arrival, ps.
+    pub deadline_ps: u64,
+}
+
+/// Full configuration of a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    pub seed: u64,
+    /// Arrivals are generated in `[0, horizon_ps)`.
+    pub horizon_ps: u64,
+    /// Extra time after the horizon to drain in-flight work, ps.
+    pub drain_grace_ps: u64,
+    pub batch: BatchPolicy,
+    pub tenants: Vec<TenantSpec>,
+    /// Cross-check every Nth dispatched batch against the real photonic
+    /// engine (0 disables verification sampling).
+    pub verify_every: u64,
+}
+
+impl ServeConfig {
+    /// Total offered load across tenants, requests/second.
+    pub fn offered_rps(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.arrivals.mean_rate_rps())
+            .sum()
+    }
+}
+
+/// Event kinds, ordered deterministically via (time, seq).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Arrival { tenant: u32 },
+    BatchDue,
+    SlotFree { node: NodeId, slot: usize },
+}
+
+/// The assembled serving runtime.
+pub struct ServeRuntime {
+    config: ServeConfig,
+    admission: AdmissionControl,
+    batcher: Batcher,
+    scheduler: Scheduler,
+    metrics: MetricsSink,
+    arrivals: Vec<ArrivalProcess>,
+    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: u64,
+    next_request_id: u64,
+    now_ps: u64,
+    /// Real photonic engine for sampled cross-checks.
+    verify_unit: DotProductUnit,
+}
+
+impl ServeRuntime {
+    /// Build over an explicit site list and service model (pure sans-IO
+    /// construction; see [`ServeRuntime::over_network`] for the wired
+    /// path).
+    pub fn new(config: ServeConfig, model: ServiceModel, sites: Vec<SiteSpec>) -> Self {
+        assert!(!config.tenants.is_empty(), "need at least one tenant");
+        assert!(config.horizon_ps > 0, "horizon must be positive");
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let caps: Vec<(usize, u32)> = config
+            .tenants
+            .iter()
+            .map(|t| (t.queue_capacity, t.weight))
+            .collect();
+        let arrivals: Vec<ArrivalProcess> = config
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ArrivalProcess::new(t.arrivals, rng.derive(&format!("tenant-{i}"))))
+            .collect();
+        let mut verify_rng = rng.derive("verify-engine");
+        let mut verify_unit = DotProductUnit::new(DotUnitConfig::realistic(), &mut verify_rng);
+        verify_unit.calibrate(256);
+        let tenant_count = config.tenants.len();
+        let mut rt = ServeRuntime {
+            admission: AdmissionControl::new(&caps),
+            batcher: Batcher::new(config.batch),
+            scheduler: Scheduler::new(model, sites),
+            metrics: MetricsSink::new(tenant_count),
+            arrivals,
+            events: BinaryHeap::new(),
+            seq: 0,
+            next_request_id: 0,
+            now_ps: 0,
+            verify_unit,
+            config,
+        };
+        // Seed the first arrival of every tenant.
+        for i in 0..tenant_count {
+            rt.schedule_next_arrival(i as u32);
+        }
+        rt
+    }
+
+    /// Build over a deployed [`OnFiberNetwork`]: every upgraded site
+    /// becomes a compute site, with access delay taken from shortest
+    /// propagation paths out of `front_end`, and the service model
+    /// derived from the given transponder hardware config.
+    pub fn over_network(
+        sys: &OnFiberNetwork,
+        front_end: NodeId,
+        transponder: &ComputeTransponderConfig,
+        wdm_channels: usize,
+        config: ServeConfig,
+    ) -> Self {
+        let dist = shortest_paths(&sys.net.topo, front_end);
+        let sites: Vec<SiteSpec> = sys
+            .compute_sites()
+            .into_iter()
+            .map(|(node, slots)| {
+                let (access_ps, _) = *dist
+                    .get(&node)
+                    .unwrap_or_else(|| panic!("site {node:?} unreachable from {front_end:?}"));
+                SiteSpec {
+                    node,
+                    slots,
+                    access_ps,
+                }
+            })
+            .collect();
+        assert!(
+            !sites.is_empty(),
+            "no upgraded compute sites; call upgrade_site first"
+        );
+        let model = ServiceModel::from_transponder(transponder, wdm_channels);
+        ServeRuntime::new(config, model, sites)
+    }
+
+    fn push_event(&mut self, t_ps: u64, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((t_ps, self.seq, ev)));
+    }
+
+    fn schedule_next_arrival(&mut self, tenant: u32) {
+        let t = self.arrivals[tenant as usize].next_arrival_ps();
+        if t < self.config.horizon_ps {
+            self.push_event(t, Event::Arrival { tenant });
+        }
+    }
+
+    fn handle_arrival(&mut self, tenant: u32) {
+        let spec = &self.config.tenants[tenant as usize];
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        let req = ComputeRequest {
+            id: RequestId(id),
+            tenant: TenantId(tenant),
+            primitive: spec.primitive,
+            operand_len: spec.operand_len as u32,
+            arrival_ps: self.now_ps,
+            deadline_ps: self.now_ps.saturating_add(spec.deadline_ps),
+        };
+        self.metrics.on_arrival(TenantId(tenant));
+        self.admission.offer(req);
+        self.schedule_next_arrival(tenant);
+    }
+
+    /// Move work through admission → batcher → scheduler until nothing
+    /// changes at the current instant.
+    fn run_pipeline(&mut self) {
+        let now = self.now_ps;
+        self.admission.expire_stale(now);
+
+        // Keep the downstream (open batches + closed backlog) bounded so
+        // overload backs up into the per-tenant queues where weighted
+        // fairness and QueueFull shedding apply.
+        let cap = self.scheduler.total_slots() * self.batcher.policy().max_batch * 2;
+        let downstream = self.batcher.open_len() + self.scheduler.backlog_requests();
+        let budget = cap.saturating_sub(downstream);
+        let drained = self.admission.drain_fair(budget, now);
+        let had_queue_left = self.admission.queued() > 0;
+        for req in drained {
+            self.batcher.push(req, now);
+        }
+        self.batcher.flush_timeouts(now);
+        // Idle capacity with no backlog and nothing else queued: waiting
+        // longer only adds latency, so close what we have (continuous
+        // batching, as inference servers do).
+        if !had_queue_left
+            && self.scheduler.backlog_requests() == 0
+            && self.scheduler.idle_slots(now) > 0
+        {
+            self.batcher.flush_all(now);
+        }
+        for batch in self.batcher.take_closed() {
+            self.metrics.on_batch(batch.len() as u32);
+            self.scheduler.enqueue(batch);
+        }
+        let dispatches = self.scheduler.try_dispatch(now);
+        for d in dispatches {
+            for (req, reason) in &d.shed {
+                self.metrics
+                    .on_outcome(req.tenant, &Outcome::Shed { reason: *reason });
+            }
+            if d.batch.is_empty() {
+                continue;
+            }
+            self.push_event(
+                d.free_ps,
+                Event::SlotFree {
+                    node: d.node,
+                    slot: d.slot,
+                },
+            );
+            let n = d.batch.len() as u32;
+            let per_request_j = d.energy.total_j() / f64::from(n);
+            for (stage, j) in d.energy.iter() {
+                self.metrics.add_stage_energy(stage, j);
+            }
+            for req in &d.batch.requests {
+                self.metrics.on_outcome(
+                    req.tenant,
+                    &Outcome::Completed {
+                        latency_ps: d.delivered_ps - req.arrival_ps,
+                        batch_size: n,
+                        energy_j: per_request_j,
+                    },
+                );
+            }
+            // Sampled ground-truth pass through the real photonic engine.
+            if self.config.verify_every > 0
+                && self
+                    .scheduler
+                    .batches_dispatched
+                    .is_multiple_of(self.config.verify_every)
+                && d.batch.class.primitive == Primitive::VectorDotProduct
+            {
+                let operands = d.batch.requests[0].operands();
+                let weights = vec![0.5; operands.len()];
+                let photonic = self.verify_unit.dot_nonneg(&operands, &weights);
+                let digital: f64 = operands.iter().zip(&weights).map(|(a, w)| a * w).sum();
+                self.metrics
+                    .verify_abs_errors
+                    .push((photonic - digital).abs());
+            }
+        }
+        // Shed records accumulated inside admission this instant.
+        for (req, reason) in self.admission.take_shed() {
+            self.metrics
+                .on_outcome(req.tenant, &Outcome::Shed { reason });
+        }
+        // Arm the batch-timeout alarm for the oldest open batch.
+        if let Some(t) = self.batcher.next_timeout_ps() {
+            self.push_event(t.max(now), Event::BatchDue);
+        }
+    }
+
+    /// Run to completion and produce the final report.
+    pub fn run(mut self) -> ServeReport {
+        let end_ps = self.config.horizon_ps + self.config.drain_grace_ps;
+        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            if t > end_ps {
+                break;
+            }
+            self.now_ps = t;
+            match ev {
+                Event::Arrival { tenant } => self.handle_arrival(tenant),
+                Event::BatchDue => {} // pipeline below re-checks timeouts
+                Event::SlotFree { node, slot } => {
+                    self.scheduler.release(node, slot, t);
+                }
+            }
+            self.run_pipeline();
+        }
+        let unfinished = (self.admission.queued()
+            + self.batcher.open_len()
+            + self.scheduler.backlog_requests()) as u64;
+        let duration_s = self.config.horizon_ps as f64 / 1e12;
+        self.metrics
+            .report(duration_s, unfinished, self.config.batch.max_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofpc_net::Topology;
+
+    fn tenant(rate_rps: f64, weight: u32) -> TenantSpec {
+        TenantSpec {
+            name: format!("t-w{weight}"),
+            weight,
+            queue_capacity: 64,
+            arrivals: ArrivalSpec::Poisson { rate_rps },
+            primitive: Primitive::VectorDotProduct,
+            operand_len: 2048,
+            deadline_ps: 200_000_000, // 200 µs
+        }
+    }
+
+    fn small_config(rate_rps: f64) -> ServeConfig {
+        ServeConfig {
+            seed: 42,
+            horizon_ps: 2_000_000_000, // 2 ms
+            drain_grace_ps: 500_000_000,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait_ps: 20_000_000,
+            },
+            tenants: vec![tenant(rate_rps, 1), tenant(rate_rps, 1)],
+            verify_every: 0,
+        }
+    }
+
+    // Two slots, four WDM channels, 2048-element requests: per-slot
+    // capacity ≈ 7.8M req/s, so test overload is reachable at tens of
+    // millions of requests per second.
+    fn runtime(config: ServeConfig) -> ServeRuntime {
+        let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+        let sites = vec![SiteSpec {
+            node: NodeId(1),
+            slots: 2,
+            access_ps: 100_000,
+        }];
+        ServeRuntime::new(config, model, sites)
+    }
+
+    #[test]
+    fn light_load_completes_everything() {
+        let report = runtime(small_config(20_000.0)).run();
+        assert!(report.arrivals > 30, "arrivals {}", report.arrivals);
+        assert_eq!(report.shed, 0, "no shedding at light load");
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.completed, report.arrivals);
+        assert!(report.p99_latency_us.unwrap() < 1_000.0);
+    }
+
+    #[test]
+    fn overload_sheds_but_conserves() {
+        // 2 × 16M req/s offered against ~15.5M req/s of slot capacity.
+        let report = runtime(small_config(16_000_000.0)).run();
+        assert!(report.shed > 0, "overload must shed");
+        assert_eq!(
+            report.arrivals,
+            report.completed + report.shed + report.unfinished
+        );
+        // Goodput saturates well below offered load.
+        assert!(report.goodput_rps < report.offered_rps * 0.9);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = runtime(small_config(500_000.0)).run();
+        let b = runtime(small_config(500_000.0)).run();
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn over_network_derives_sites_from_upgrades() {
+        let mut sys = OnFiberNetwork::new(Topology::fig1(), 7);
+        sys.upgrade_site(NodeId(1), 2);
+        sys.upgrade_site(NodeId(2), 1);
+        // fig1 spans are 600–900 km, so the operand/result round trip
+        // alone is ~8 ms — deadlines must be WAN-scale.
+        let mut cfg = small_config(100_000.0);
+        for t in &mut cfg.tenants {
+            t.deadline_ps = 20_000_000_000; // 20 ms
+        }
+        let rt =
+            ServeRuntime::over_network(&sys, NodeId(0), &ComputeTransponderConfig::ideal(), 8, cfg);
+        assert_eq!(rt.scheduler.total_slots(), 3);
+        let report = rt.run();
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn verification_sampling_runs_the_real_engine() {
+        let mut cfg = small_config(100_000.0);
+        cfg.verify_every = 4;
+        // Keep verification vectors small: the analog engine's absolute
+        // error grows with vector length.
+        for t in &mut cfg.tenants {
+            t.operand_len = 64;
+        }
+        let report = runtime(cfg).run();
+        assert!(report.verified_samples > 0);
+        // The realistic photonic engine tracks the digital result.
+        assert!(
+            report.verify_mean_abs_error < 1.0,
+            "error {}",
+            report.verify_mean_abs_error
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! Deadline-aware batch scheduling onto the transponder inventory.
+//!
+//! Closed batches queue here and are dispatched earliest-deadline-first
+//! (EDF) onto idle photonic compute transponder slots tracked by the
+//! controller's [`TransponderInventory`]. The service model prices a
+//! batch the way the Fig.-4 hardware does:
+//!
+//! * a **reconfiguration** charge when the slot's loaded weights/pattern
+//!   differ from the batch's class (DAC writes, fixed + per-element),
+//! * the **engine settling** latency (analog pipeline fill),
+//! * **streaming** passes: operand vectors ride parallel WDM channels,
+//!   `ceil(batch / channels)` serial passes of `len × 8 bits` each,
+//! * a serialized per-request **result readout** (single readout ADC).
+//!
+//! Batching wins exactly because the first two terms are per-pass, not
+//! per-request. Requests whose deadline cannot survive the projected
+//! completion are shed *before* burning wavelength time on them.
+
+use crate::batcher::Batch;
+use crate::request::{BatchClass, ComputeRequest, ShedReason};
+use ofpc_controller::inventory::{SlotStatus, TransponderInventory};
+use ofpc_net::NodeId;
+use ofpc_photonics::energy::{constants, EnergyLedger};
+use ofpc_transponder::compute::ComputeTransponderConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Latency/energy model for one wavelength pass over a compute slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Serial line rate per WDM channel, bit/s.
+    pub line_rate_bps: f64,
+    /// WDM channels a batch may occupy in parallel.
+    pub wdm_channels: usize,
+    /// Analog engine settling per pass, ps.
+    pub engine_settle_ps: u64,
+    /// Fixed weight/pattern reconfiguration cost, ps.
+    pub reconfig_fixed_ps: u64,
+    /// Per-element reconfiguration cost (weight DAC writes), ps.
+    pub reconfig_per_element_ps: u64,
+    /// Serialized result readout per request, ps.
+    pub readout_per_request_ps: u64,
+    /// Continuous optical supply power while a pass runs, W.
+    pub laser_w: f64,
+    /// Energy per operand DAC sample, J.
+    pub dac_sample_j: f64,
+    /// Energy per photonic MAC, J.
+    pub mac_j: f64,
+    /// Energy per result ADC readout, J.
+    pub adc_result_j: f64,
+}
+
+impl ServiceModel {
+    /// Derive from a transponder hardware config plus the WDM width the
+    /// deployment lights for serving.
+    pub fn from_transponder(cfg: &ComputeTransponderConfig, wdm_channels: usize) -> Self {
+        assert!(wdm_channels >= 1, "need at least one WDM channel");
+        let line_rate_bps = cfg.tx.line_rate_bps;
+        ServiceModel {
+            line_rate_bps,
+            wdm_channels,
+            engine_settle_ps: (cfg.engine_latency_s * 1e12) as u64,
+            // Weight loading is a control-plane DAC write per element on
+            // top of a fixed settling window — orders of magnitude slower
+            // than streaming, which is what makes batching matter.
+            reconfig_fixed_ps: 2_000_000,    // 2 µs
+            reconfig_per_element_ps: 10_000, // 10 ns/element
+            readout_per_request_ps: (1e12 / constants::PHOTONIC_LANE_HZ) as u64 * 8,
+            laser_w: 0.05,
+            dac_sample_j: constants::DAC_SAMPLE_J,
+            mac_j: constants::PHOTONIC_MAC_J,
+            adc_result_j: cfg.result_adc_energy_j.max(constants::ADC_SAMPLE_J),
+        }
+    }
+
+    /// Streaming time for one pass of `operand_len` elements, ps.
+    fn pass_stream_ps(&self, operand_len: u32) -> u64 {
+        let bits = operand_len as f64 * 8.0;
+        ((bits / self.line_rate_bps) * 1e12).ceil() as u64
+    }
+
+    /// Service time (ps) and energy ledger for a batch of `n` requests of
+    /// class `class`, given what the slot currently has loaded.
+    pub fn batch_service(
+        &self,
+        class: BatchClass,
+        n: usize,
+        loaded: Option<BatchClass>,
+    ) -> (u64, EnergyLedger) {
+        let mut ledger = EnergyLedger::new();
+        let needs_reconfig = loaded != Some(class);
+        let reconfig_ps = if needs_reconfig {
+            self.reconfig_fixed_ps + self.reconfig_per_element_ps * u64::from(class.operand_len)
+        } else {
+            0
+        };
+        let passes = n.div_ceil(self.wdm_channels) as u64;
+        let stream_ps = passes * self.pass_stream_ps(class.operand_len);
+        let readout_ps = self.readout_per_request_ps * n as u64;
+        let service_ps = reconfig_ps + self.engine_settle_ps + stream_ps + readout_ps;
+
+        if needs_reconfig {
+            ledger.add("reconfig-dac", class.operand_len as f64 * self.dac_sample_j);
+        }
+        ledger.add(
+            "operand-dac",
+            n as f64 * class.operand_len as f64 * self.dac_sample_j,
+        );
+        ledger.add(
+            "photonic-mac",
+            n as f64 * class.operand_len as f64 * self.mac_j,
+        );
+        ledger.add("result-adc", n as f64 * self.adc_result_j);
+        ledger.add("laser-supply", self.laser_w * service_ps as f64 * 1e-12);
+        (service_ps, ledger)
+    }
+}
+
+/// A compute site visible to the serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    pub node: NodeId,
+    /// Installed compute transponder slots at the site.
+    pub slots: usize,
+    /// One-way propagation delay between the serving front-end and the
+    /// site, ps (operands ride out, results ride back).
+    pub access_ps: u64,
+}
+
+/// Mutable state of one transponder slot. `busy_until_ps` is in
+/// *site-local* time: the fiber between the front-end and the site is a
+/// pipe, so a batch dispatched at `t` occupies the slot only over
+/// `[t + access, t + access + service]` — operands in flight never hold
+/// the transponder, and several batches can ride the span at once.
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    busy_until_ps: u64,
+    loaded: Option<BatchClass>,
+}
+
+/// One dispatched batch: where it ran and what it cost.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    pub batch: Batch,
+    pub node: NodeId,
+    pub slot: usize,
+    pub start_ps: u64,
+    /// When the slot finishes the batch (site-local), ps.
+    pub done_ps: u64,
+    /// When the front-end can usefully dispatch to this slot again
+    /// (`done - access`: new operands launched then arrive just as the
+    /// slot frees), ps.
+    pub free_ps: u64,
+    /// When results reach the requesters, ps.
+    pub delivered_ps: u64,
+    pub service_ps: u64,
+    pub energy: EnergyLedger,
+    /// Members shed pre-service because they could not make their
+    /// deadline.
+    pub shed: Vec<(ComputeRequest, ShedReason)>,
+}
+
+/// EDF scheduler over the transponder inventory.
+#[derive(Debug)]
+pub struct Scheduler {
+    model: ServiceModel,
+    sites: Vec<SiteSpec>,
+    inventory: TransponderInventory,
+    slots: BTreeMap<(NodeId, usize), SlotState>,
+    /// Closed batches awaiting dispatch.
+    ready: Vec<Batch>,
+    /// Completed-batch counter (for occupancy metrics).
+    pub batches_dispatched: u64,
+    pub requests_dispatched: u64,
+}
+
+impl Scheduler {
+    pub fn new(model: ServiceModel, sites: Vec<SiteSpec>) -> Self {
+        assert!(!sites.is_empty(), "need at least one compute site");
+        let mut inventory = TransponderInventory::new(u64::MAX);
+        let mut slots = BTreeMap::new();
+        for site in &sites {
+            assert!(site.slots > 0, "site {:?} has no slots", site.node);
+            inventory.register(site.node, site.slots, 0);
+            for s in 0..site.slots {
+                slots.insert(
+                    (site.node, s),
+                    SlotState {
+                        busy_until_ps: 0,
+                        loaded: None,
+                    },
+                );
+            }
+        }
+        Scheduler {
+            model,
+            sites,
+            inventory,
+            slots,
+            ready: Vec::new(),
+            batches_dispatched: 0,
+            requests_dispatched: 0,
+        }
+    }
+
+    pub fn model(&self) -> &ServiceModel {
+        &self.model
+    }
+
+    /// The controller-facing inventory view (status mirrors dispatches).
+    pub fn inventory(&self) -> &TransponderInventory {
+        &self.inventory
+    }
+
+    pub fn total_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots that could start a batch dispatched *now* without waiting:
+    /// work dispatched at `now` reaches node `n` at `now + access(n)`,
+    /// so a slot is usable once its site-local busy window ends by then.
+    pub fn idle_slots(&self, now_ps: u64) -> usize {
+        self.slots
+            .iter()
+            .filter(|(&(node, _), s)| s.busy_until_ps <= now_ps + self.access_ps(node))
+            .count()
+    }
+
+    /// Requests queued in closed batches not yet dispatched.
+    pub fn backlog_requests(&self) -> usize {
+        self.ready.iter().map(Batch::len).sum()
+    }
+
+    pub fn enqueue(&mut self, batch: Batch) {
+        if !batch.is_empty() {
+            self.ready.push(batch);
+        }
+    }
+
+    fn access_ps(&self, node: NodeId) -> u64 {
+        self.sites
+            .iter()
+            .find(|s| s.node == node)
+            .map(|s| s.access_ps)
+            .expect("dispatch to unknown site")
+    }
+
+    /// Dispatch as many ready batches as idle slots allow, EDF first.
+    /// Returns the dispatches made (empty when blocked).
+    pub fn try_dispatch(&mut self, now_ps: u64) -> Vec<Dispatch> {
+        let mut out = Vec::new();
+        while !self.ready.is_empty() {
+            // EDF: earliest min-member deadline; ties broken by close
+            // time then insertion order for determinism.
+            let best_idx = self
+                .ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, b)| (b.deadline_ps(), b.closed_ps, *i))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let class = self.ready[best_idx].class;
+            // Best usable slot: prefer one already loaded with this class
+            // (skips reconfiguration), then nearest, then lowest id. A
+            // slot is usable when it frees by the time work dispatched
+            // now would arrive (the fiber pipelines in-flight batches).
+            let slot_key = self
+                .slots
+                .iter()
+                .filter(|(&(node, _), s)| s.busy_until_ps <= now_ps + self.access_ps(node))
+                .min_by_key(|(&(node, slot), s)| {
+                    (s.loaded != Some(class), self.access_ps(node), node, slot)
+                })
+                .map(|(&k, _)| k);
+            let Some((node, slot)) = slot_key else {
+                break; // no idle capacity; keep batches queued
+            };
+            let mut batch = self.ready.swap_remove(best_idx);
+            let access = self.access_ps(node);
+            let loaded = self.slots[&(node, slot)].loaded;
+
+            // Project completion, shed members that cannot make it, and
+            // re-price with the survivors.
+            let (est_service, _) = self.model.batch_service(class, batch.len(), loaded);
+            let est_delivered = now_ps + access + est_service + access;
+            let mut shed = Vec::new();
+            batch.requests.retain_mut(|r| {
+                if r.deadline_ps < est_delivered {
+                    shed.push((r.clone(), ShedReason::DeadlineExpiredServing));
+                    false
+                } else {
+                    true
+                }
+            });
+            if batch.is_empty() {
+                out.push(Dispatch {
+                    batch,
+                    node,
+                    slot,
+                    start_ps: now_ps,
+                    done_ps: now_ps,
+                    free_ps: now_ps,
+                    delivered_ps: now_ps,
+                    service_ps: 0,
+                    energy: EnergyLedger::new(),
+                    shed,
+                });
+                continue;
+            }
+            let (service_ps, energy) = self.model.batch_service(class, batch.len(), loaded);
+            let start_ps = now_ps + access;
+            let done_ps = start_ps + service_ps;
+            let delivered_ps = done_ps + access;
+            let free_ps = done_ps.saturating_sub(access).max(now_ps);
+
+            let state = self.slots.get_mut(&(node, slot)).expect("slot exists");
+            state.busy_until_ps = done_ps;
+            state.loaded = Some(class);
+            self.inventory.heartbeat(
+                node,
+                slot,
+                SlotStatus::Active {
+                    primitive: class.primitive,
+                    op_id: (self.batches_dispatched % u64::from(u16::MAX)) as u16,
+                    version: self.batches_dispatched,
+                },
+                now_ps,
+            );
+            self.batches_dispatched += 1;
+            self.requests_dispatched += batch.len() as u64;
+            out.push(Dispatch {
+                batch,
+                node,
+                slot,
+                start_ps,
+                done_ps,
+                free_ps,
+                delivered_ps,
+                service_ps,
+                energy,
+                shed,
+            });
+        }
+        out
+    }
+
+    /// Mark a slot idle again (called at its `done_ps` event).
+    pub fn release(&mut self, node: NodeId, slot: usize, now_ps: u64) {
+        self.inventory
+            .heartbeat(node, slot, SlotStatus::Idle, now_ps);
+    }
+
+    /// Next time any busy slot frees, if any (for idle-time stepping).
+    pub fn next_free_ps(&self, now_ps: u64) -> Option<u64> {
+        self.slots
+            .values()
+            .filter(|s| s.busy_until_ps > now_ps)
+            .map(|s| s.busy_until_ps)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestId, TenantId};
+    use ofpc_engine::Primitive;
+
+    fn model() -> ServiceModel {
+        ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 8)
+    }
+
+    fn batch(ids: &[u64], deadline: u64, closed: u64) -> Batch {
+        let requests: Vec<ComputeRequest> = ids
+            .iter()
+            .map(|&id| ComputeRequest {
+                id: RequestId(id),
+                tenant: TenantId(0),
+                primitive: Primitive::VectorDotProduct,
+                operand_len: 64,
+                arrival_ps: 0,
+                deadline_ps: deadline,
+            })
+            .collect();
+        Batch {
+            class: requests[0].batch_class(),
+            requests,
+            closed_ps: closed,
+        }
+    }
+
+    fn one_site() -> Vec<SiteSpec> {
+        vec![SiteSpec {
+            node: NodeId(1),
+            slots: 1,
+            access_ps: 1_000,
+        }]
+    }
+
+    #[test]
+    fn batching_amortizes_fixed_overhead() {
+        let m = model();
+        let class = BatchClass {
+            primitive: Primitive::VectorDotProduct,
+            operand_len: 64,
+        };
+        let (t1, e1) = m.batch_service(class, 1, None);
+        let (t8, e8) = m.batch_service(class, 8, None);
+        // 8 requests in one batch cost far less than 8 separate passes.
+        assert!(t8 < 8 * t1, "t8 {t8} vs 8*t1 {}", 8 * t1);
+        assert!(e8.total_j() < 8.0 * e1.total_j());
+        // Affinity: already-loaded class skips reconfiguration.
+        let (t_hot, _) = m.batch_service(class, 1, Some(class));
+        assert!(t_hot < t1);
+    }
+
+    #[test]
+    fn edf_order_and_slot_release() {
+        let mut s = Scheduler::new(model(), one_site());
+        s.enqueue(batch(&[1], u64::MAX, 0));
+        s.enqueue(batch(&[2], 50_000_000, 0)); // tighter deadline
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1, "one slot, one dispatch");
+        assert_eq!(d[0].batch.requests[0].id, RequestId(2));
+        assert_eq!(s.backlog_requests(), 1);
+        // Slot busy: nothing dispatches until release time.
+        assert!(s.try_dispatch(1).is_empty());
+        let free = d[0].done_ps;
+        s.release(NodeId(1), 0, free);
+        let d2 = s.try_dispatch(free);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].batch.requests[0].id, RequestId(1));
+    }
+
+    #[test]
+    fn hopeless_members_are_shed_before_service() {
+        let mut s = Scheduler::new(model(), one_site());
+        // Deadline tighter than even the access delay.
+        s.enqueue(batch(&[1], 500, 0));
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].batch.is_empty());
+        assert_eq!(d[0].shed.len(), 1);
+        assert_eq!(d[0].shed[0].1, ShedReason::DeadlineExpiredServing);
+        // Slot was not burned on the hopeless batch.
+        assert_eq!(s.idle_slots(0), 1);
+    }
+
+    #[test]
+    fn inventory_mirrors_activity() {
+        let mut s = Scheduler::new(model(), one_site());
+        assert_eq!(s.inventory().available_at(NodeId(1), 0), 1);
+        s.enqueue(batch(&[1], u64::MAX, 0));
+        let d = s.try_dispatch(0);
+        assert_eq!(s.inventory().available_at(NodeId(1), 0), 0);
+        s.release(NodeId(1), 0, d[0].done_ps);
+        assert_eq!(s.inventory().available_at(NodeId(1), d[0].done_ps), 1);
+    }
+
+    #[test]
+    fn delivered_accounts_for_propagation_both_ways() {
+        let mut s = Scheduler::new(model(), one_site());
+        s.enqueue(batch(&[1], u64::MAX, 0));
+        let d = s.try_dispatch(0);
+        assert_eq!(d[0].start_ps, 1_000);
+        assert_eq!(d[0].delivered_ps, d[0].done_ps + 1_000);
+        assert_eq!(d[0].done_ps - d[0].start_ps, d[0].service_ps);
+        // The fiber pipelines: the front-end can launch the next batch
+        // one access delay before the slot frees.
+        assert_eq!(d[0].free_ps, d[0].done_ps - 1_000);
+    }
+}

@@ -62,11 +62,7 @@ pub fn measure_ber(
     let field = a.tx.transmit(&bits);
     let received = span.propagate(&field);
     let got = b.rx.receive(&received);
-    let errors = bits
-        .iter()
-        .zip(&got)
-        .filter(|(x, y)| x != y)
-        .count() as u64;
+    let errors = bits.iter().zip(&got).filter(|(x, y)| x != y).count() as u64;
     BerReport {
         bits_tested: n_bits as u64,
         bit_errors: errors,
@@ -126,7 +122,10 @@ mod tests {
         let mut b = CommodityTransponder::realistic(span.total_loss_db(), &mut rng);
         let report = measure_ber(&mut a, &mut b, &span, 5_000, &mut rng);
         assert!(report.ber > 0.0, "expected a noisy link, got {report:?}");
-        assert!(report.ber < 0.5, "link should not be pure noise: {report:?}");
+        assert!(
+            report.ber < 0.5,
+            "link should not be pure noise: {report:?}"
+        );
     }
 
     #[test]

@@ -22,10 +22,7 @@ const RAIL: f64 = std::f64::consts::FRAC_1_SQRT_2;
 
 /// Map a bit pair to a Gray-coded QPSK symbol `(i, q)`.
 pub fn qpsk_map(b0: bool, b1: bool) -> (f64, f64) {
-    (
-        if b0 { RAIL } else { -RAIL },
-        if b1 { RAIL } else { -RAIL },
-    )
+    (if b0 { RAIL } else { -RAIL }, if b1 { RAIL } else { -RAIL })
 }
 
 /// Slice received quadratures back to a bit pair.
@@ -238,7 +235,10 @@ mod tests {
         let field = span.propagate(&tx.transmit(&bits));
         let got = rx.receive(&field, 0.0);
         let errors = got.iter().zip(&bits).filter(|(a, b)| a != b).count();
-        assert!(errors > 20, "expected gross errors without recovery, got {errors}");
+        assert!(
+            errors > 20,
+            "expected gross errors without recovery, got {errors}"
+        );
     }
 
     #[test]

@@ -101,7 +101,9 @@ pub struct ProcessOutcome {
 /// Encode a signed result value as 4 fixed-point bytes (Q16.16,
 /// big-endian) for the frame's result field.
 pub fn encode_result(value: f64) -> [u8; 4] {
-    let fixed = (value * 65536.0).round().clamp(i32::MIN as f64, i32::MAX as f64) as i32;
+    let fixed = (value * 65536.0)
+        .round()
+        .clamp(i32::MIN as f64, i32::MAX as f64) as i32;
     fixed.to_be_bytes()
 }
 
@@ -543,10 +545,7 @@ mod tests {
         let frame = Frame::compute(Primitive::NonlinearFunction.wire_id(), &b"act"[..]);
         let field = t.transmit_compute_frame(&frame, &[0.1, 0.3, 0.5, 0.7, 0.9, 1.0]);
         let out = t.process(&field).unwrap();
-        assert_eq!(
-            out.computed,
-            Some(ComputeResult::Nonlinear { elements: 6 })
-        );
+        assert_eq!(out.computed, Some(ComputeResult::Nonlinear { elements: 6 }));
     }
 
     #[test]

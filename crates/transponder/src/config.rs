@@ -92,10 +92,7 @@ impl EngineControl {
     pub fn tick(&mut self, now_ps: u64, op_tag: u8) {
         if let EngineState::Reconfiguring { until_ps, version } = self.state {
             if now_ps >= until_ps {
-                self.state = EngineState::Active {
-                    op_tag,
-                    version,
-                };
+                self.state = EngineState::Active { op_tag, version };
             }
         }
     }

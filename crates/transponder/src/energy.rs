@@ -164,9 +164,8 @@ mod tests {
     fn headroom_math_is_consistent() {
         let report = check_budget(&commodity_blocks(), FormFactor::Osfp);
         assert!(
-            (report.total_power_w + report.power_headroom_w
-                - FormFactor::Osfp.power_ceiling_w())
-            .abs()
+            (report.total_power_w + report.power_headroom_w - FormFactor::Osfp.power_ceiling_w())
+                .abs()
                 < 1e-12
         );
     }

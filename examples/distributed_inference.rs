@@ -34,7 +34,11 @@ fn main() {
     );
     println!("distributed plan (entry op {}):", plan.entry_op);
     for &(site, op, offset, len) in &plan.parts {
-        println!("  site n{}: op {op}, weights[{offset}..{}]", site.0, offset + len);
+        println!(
+            "  site n{}: op {op}, weights[{offset}..{}]",
+            site.0,
+            offset + len
+        );
     }
 
     // An end host tags a request with the *first* part's op id; routing

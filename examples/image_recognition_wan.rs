@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example image_recognition_wan`
 
 use ofpc_apps::ml::{
-    accuracy_photonic, accuracy_with_activation, deploy_curve_trained, synthetic_glyphs,
-    train_mlp, TrainActivation, TrainConfig,
+    accuracy_photonic, accuracy_with_activation, deploy_curve_trained, synthetic_glyphs, train_mlp,
+    TrainActivation, TrainConfig,
 };
 use ofpc_engine::nonlinear::NonlinearUnit;
 use ofpc_photonics::SimRng;
@@ -53,7 +53,10 @@ fn main() {
         mlp.macs_per_inference()
     );
     let ledger = pdnn.energy_ledger();
-    println!("engine energy ledger after {} inferences:\n{ledger}", test.len());
+    println!(
+        "engine energy ledger after {} inferences:\n{ledger}",
+        test.len()
+    );
 
     assert!(
         photonic_acc >= digital_acc - 0.1,

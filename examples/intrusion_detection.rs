@@ -21,7 +21,10 @@ fn main() {
     let mut rng = SimRng::seed_from_u64(7);
     let (payloads, truth) = synthesize_traffic(200, 256, &signatures, 0.3, &mut rng);
     let planted: usize = truth.values().map(|v| v.len()).sum();
-    println!("traffic: {} payloads of 256 B, {planted} planted signatures\n", payloads.len());
+    println!(
+        "traffic: {} payloads of 256 B, {planted} planted signatures\n",
+        payloads.len()
+    );
 
     // Digital baseline.
     let mut ac = AhoCorasick::new(&signatures);
@@ -58,5 +61,8 @@ fn main() {
 
     assert_eq!(disagreements, 0, "photonic and digital engines must agree");
     assert_eq!(detected_planted, planted, "every planted signature found");
-    println!("\nphotonic IDS matches Aho–Corasick exactly on all {} payloads.", payloads.len());
+    println!(
+        "\nphotonic IDS matches Aho–Corasick exactly on all {} payloads.",
+        payloads.len()
+    );
 }

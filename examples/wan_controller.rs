@@ -54,7 +54,12 @@ fn main() {
 
     // Solve the same 24-demand workload with each solver.
     for (name, solver) in [
-        ("exact B&B", Solver::Exact { node_budget: 2_000_000 }),
+        (
+            "exact B&B",
+            Solver::Exact {
+                node_budget: 2_000_000,
+            },
+        ),
         ("LP + rounding", Solver::LpRounding { trials: 20 }),
         ("greedy", Solver::Greedy),
     ] {

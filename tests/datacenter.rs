@@ -18,7 +18,14 @@ fn spine_transceivers_compute_cross_rack_traffic() {
     let spine0 = NodeId(4);
     let spine1 = NodeId(5);
     let weights = vec![0.25; 16];
-    net.add_engine(spine0, 1, OpSpec::Dot { weights: weights.clone() }, 0.0);
+    net.add_engine(
+        spine0,
+        1,
+        OpSpec::Dot {
+            weights: weights.clone(),
+        },
+        0.0,
+    );
     net.add_engine(spine1, 1, OpSpec::Dot { weights }, 0.0);
     net.install_compute_detour(Primitive::VectorDotProduct, spine0);
 
@@ -43,7 +50,11 @@ fn spine_transceivers_compute_cross_rack_traffic() {
     }
     net.run_to_idle();
     assert_eq!(net.stats.delivered_count(), 12);
-    assert_eq!(net.stats.computed_count(), 12, "every request computed in the spine");
+    assert_eq!(
+        net.stats.computed_count(),
+        12,
+        "every request computed in the spine"
+    );
     // DC-scale latency: two 100 m hops ≈ 1 µs, plus engine time.
     let p99_ms = net.stats.latency_percentile_ms(0.99).unwrap();
     assert!(p99_ms < 0.01, "p99 {p99_ms} ms should be microsecond-scale");

@@ -39,7 +39,14 @@ fn sim_engine_agrees_with_physical_transponder() {
     let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(3));
     net.install_shortest_path_routes();
     let b = NodeId(1);
-    net.add_engine(b, 1, OpSpec::Dot { weights: weights.clone() }, 0.0);
+    net.add_engine(
+        b,
+        1,
+        OpSpec::Dot {
+            weights: weights.clone(),
+        },
+        0.0,
+    );
     net.install_compute_detour(Primitive::VectorDotProduct, b);
     let p = tag_request(
         Network::node_addr(NodeId(0), 1),
@@ -175,7 +182,14 @@ fn plain_and_compute_traffic_coexist() {
     let mut net = Network::new(Topology::abilene(), SimRng::seed_from_u64(8));
     net.install_shortest_path_routes();
     let denver = net.topo.find_node("Denver").unwrap();
-    net.add_engine(denver, 1, OpSpec::Match { pattern: vec![true; 8] }, 0.0);
+    net.add_engine(
+        denver,
+        1,
+        OpSpec::Match {
+            pattern: vec![true; 8],
+        },
+        0.0,
+    );
     net.install_compute_detour(Primitive::PatternMatching, denver);
     let seattle = net.topo.find_node("Seattle").unwrap();
     let ny = net.topo.find_node("NewYork").unwrap();

@@ -1,0 +1,537 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates-io access, so the workspace vendors a
+//! miniature serde in the style of `miniserde`: instead of the visitor
+//! machinery, [`Serialize`] lowers a value into a self-describing
+//! [`Value`] tree and [`Deserialize`] lifts it back. The vendored
+//! `serde_json` (see `vendor/serde_json`) renders and parses that tree.
+//!
+//! Design constraints inherited from the workspace:
+//! * **Determinism** — map serialization sorts non-ordered map keys, so a
+//!   fixed seed produces byte-identical JSON across runs (the replay and
+//!   serving determinism tests rely on this).
+//! * **Field order** — derived structs serialize fields in declaration
+//!   order, matching real serde's output shape.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key/value pairs in serialization order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by key (None for non-maps and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn expected(what: &str) -> Error {
+        Error(format!("expected {what}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Lift `Self` back out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// What a derived struct does when the field's key is absent.
+    /// `Option` overrides this to produce `None`; everything else errors.
+    fn missing() -> Result<Self, Error> {
+        Err(Error::expected("a value (field missing)"))
+    }
+}
+
+/// Derived-code helper: look a field up in a struct map.
+pub fn __field<T: Deserialize>(m: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error(format!("field `{key}`: {}", e.0))),
+        None => T::missing().map_err(|_| Error(format!("missing field `{key}`"))),
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected("integer"))?;
+                <$t>::try_from(i).map_err(|_| Error::expected("integer in range"))
+            }
+        }
+    )*};
+}
+ser_int!(i8 i16 i32 i64 isize);
+
+macro_rules! ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected("unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| Error::expected("unsigned integer in range"))
+            }
+        }
+    )*};
+}
+ser_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::expected("number"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn missing() -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::expected("array of exact length"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq().ok_or_else(|| Error::expected("2-tuple"))?;
+        if s.len() != 2 {
+            return Err(Error::expected("2-tuple"));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq().ok_or_else(|| Error::expected("3-tuple"))?;
+        if s.len() != 3 {
+            return Err(Error::expected("3-tuple"));
+        }
+        Ok((
+            A::from_value(&s[0])?,
+            B::from_value(&s[1])?,
+            C::from_value(&s[2])?,
+        ))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq().ok_or_else(|| Error::expected("4-tuple"))?;
+        if s.len() != 4 {
+            return Err(Error::expected("4-tuple"));
+        }
+        Ok((
+            A::from_value(&s[0])?,
+            B::from_value(&s[1])?,
+            C::from_value(&s[2])?,
+            D::from_value(&s[3])?,
+        ))
+    }
+}
+
+/// Render a key for JSON-object serialization of maps. Non-string keys
+/// (e.g. newtype node IDs) become their compact JSON rendering.
+fn key_string<K: Serialize>(k: &K) -> String {
+    match k.to_value() {
+        Value::Str(s) => s,
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(f) => format_f64(f),
+        other => {
+            let mut out = String::new();
+            write_compact(&other, &mut out);
+            out
+        }
+    }
+}
+
+/// Reconstruct a key value from its JSON-object string form.
+fn key_value(s: &str) -> Vec<Value> {
+    let mut candidates = Vec::new();
+    if let Ok(u) = s.parse::<u64>() {
+        candidates.push(Value::UInt(u));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        candidates.push(Value::Int(i));
+    }
+    candidates.push(Value::Str(s.to_string()));
+    candidates
+}
+
+fn map_to_value<'a, K, V, I>(iter: I, sort: bool) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut entries: Vec<(String, Value)> =
+        iter.map(|(k, v)| (key_string(k), v.to_value())).collect();
+    if sort {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    Value::Map(entries)
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    let m = v.as_map().ok_or_else(|| Error::expected("map"))?;
+    m.iter()
+        .map(|(ks, vv)| {
+            let key = key_value(ks)
+                .iter()
+                .find_map(|cand| K::from_value(cand).ok())
+                .ok_or_else(|| Error(format!("unparseable map key `{ks}`")))?;
+            Ok((key, V::from_value(vv)?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sorted so hash-iteration order never leaks into output bytes.
+        map_to_value(self.iter(), true)
+    }
+}
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), false)
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// -------------------------------------------------- compact JSON rendering
+// (lives here so map keys can be rendered without depending on serde_json)
+
+/// Format a float the way the vendored serde_json does: `Display`, with a
+/// trailing `.0` added to integral values so they read back as floats, and
+/// non-finite values rendered as `null` (JSON has no NaN/Inf).
+pub fn format_f64(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Escape a string into a JSON string literal (without quotes).
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Compact (no-whitespace) JSON rendering of a value.
+pub fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => out.push_str(&format_f64(*f)),
+        Value::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(k, out);
+                out.push_str("\":");
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container builds with no crates-io access, so the workspace vendors
+//! a miniature serde (see `vendor/serde`): `Serialize`/`Deserialize` are
+//! value-based traits (`to_value` / `from_value` over `serde::Value`), and
+//! this crate derives them with a hand-rolled token-stream parser — no
+//! `syn`/`quote`, only the compiler-provided `proc_macro` API.
+//!
+//! Supported shapes (everything this workspace uses):
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default representation).
+//!
+//! Attributes (`#[serde(...)]`, doc comments) are skipped, and generic
+//! parameters are rejected with a compile error rather than silently
+//! miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named fields or a tuple arity.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// What the derive input turned out to be.
+enum Shape {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => serialize_struct(name, fields),
+        Shape::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => deserialize_struct(name, fields),
+        Shape::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility up to `struct` / `enum`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` and friends
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum in derive input"),
+        }
+    }
+    let kind = tokens[i].to_string();
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    // `where` clauses only occur with generics in this workspace; the next
+    // token is the body group (brace) or tuple group (paren).
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Shape::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(&inner)),
+                }
+            } else {
+                Shape::Enum {
+                    name,
+                    variants: parse_variants(&inner),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Struct {
+            name,
+            fields: Fields::Tuple(tuple_arity(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        other => panic!("serde_derive: unexpected token after type name: {other:?}"),
+    }
+}
+
+/// Count fields in a tuple group: top-level commas + 1, ignoring a
+/// trailing comma, tracking `<...>` depth so generic arguments don't split.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 && idx + 1 < tokens.len() => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+/// Field names of a `struct { ... }` body, in declaration order.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect `:`, then skip the type up to a top-level comma.
+                debug_assert!(
+                    matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+                    "serde_derive: expected `:` after field name"
+                );
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in struct body: {other}"),
+        }
+    }
+    fields
+}
+
+/// Variants of an `enum { ... }` body.
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Fields::Tuple(tuple_arity(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        i += 1;
+                        Fields::Named(parse_named_fields(&inner))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an optional discriminant up to the separating comma.
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+// ----------------------------------------------------------- serialization
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut pushes = String::new();
+            for f in names {
+                pushes.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!("let mut m = ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(m)")
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let mut pushes = String::new();
+            for idx in 0..*n {
+                pushes.push_str(&format!(
+                    "s.push(::serde::Serialize::to_value(&self.{idx}));\n"
+                ));
+            }
+            format!("let mut s = ::std::vec::Vec::new();\n{pushes}::serde::Value::Seq(s)")
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                     ::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                    binds.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let items: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                     ::std::string::String::from(\"{vn}\"), \
+                     ::serde::Value::Map(vec![{}]))]),\n",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+// --------------------------------------------------------- deserialization
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\")?"))
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::expected(\"map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::expected(\"seq for struct {name}\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"seq of len {n}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Fields::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{vn}\" => return ::std::result::Result::Ok(\
+                 {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __s = __inner.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"seq for variant {vn}\"))?;\n\
+                     if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"seq of len {n}\")); }}\n\
+                     return ::std::result::Result::Ok({name}::{vn}({}));\n}}\n",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__field(__mm, \"{f}\")?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __mm = __inner.as_map().ok_or_else(|| \
+                     ::serde::Error::expected(\"map for variant {vn}\"))?;\n\
+                     return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n}}\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+         match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+         if let ::std::option::Option::Some(__m) = __v.as_map() {{\n\
+         if __m.len() == 1 {{\n\
+         let (__k, __inner) = &__m[0];\n\
+         match __k.as_str() {{\n{payload_arms}_ => {{}}\n}}\n}}\n}}\n\
+         ::std::result::Result::Err(::serde::Error::expected(\"enum {name}\"))\n\
+         }}\n}}\n"
+    )
+}
