@@ -13,4 +13,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --offline --workspace -q
 
+echo "==> cargo test --test faults (fault injection & recovery)"
+cargo test --offline --test faults -q
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+
 echo "CI green."

@@ -22,6 +22,9 @@
 //! * [`greedy`] — the cheap baseline allocator.
 //! * [`teupdate`] — turning an allocation into per-router dual-field
 //!   route updates (§3's "next-hop updates to all routers").
+//! * [`protection`] — failure recovery: precomputed link-disjoint backup
+//!   paths, failed-site exclusion for allocator re-runs, and
+//!   time-to-recovery accounting.
 
 pub mod demand;
 pub mod greedy;
@@ -29,12 +32,17 @@ pub mod ilp;
 pub mod inventory;
 pub mod lp;
 pub mod options;
+pub mod protection;
 pub mod teupdate;
 
 pub use demand::{Demand, DemandId, TaskDag};
 pub use ilp::solve_exact;
 pub use inventory::TransponderInventory;
-pub use options::{enumerate_options, AllocOption, ProblemInstance};
+pub use options::{enumerate_options, enumerate_options_filtered, AllocOption, ProblemInstance};
+pub use protection::{
+    disjoint_pair, surviving_slots, ProtectedPair, RecoveryParams, RecoveryTimeline,
+};
+pub use teupdate::{ApplyError, ApplyReport, FailedCmd};
 
 /// An allocation: for each demand (by index), the chosen option index
 /// into its option list, or `None` if unsatisfied.

@@ -9,8 +9,8 @@
 //! few transponders).
 
 use crate::demand::Demand;
-use ofpc_net::routing::shortest_paths;
-use ofpc_net::{NodeId, Topology};
+use ofpc_net::routing::shortest_paths_filtered;
+use ofpc_net::{LinkId, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -48,11 +48,12 @@ impl ProblemInstance {
 /// milliseconds of equivalent latency (cost units).
 pub const SLOT_COST_MS: f64 = 0.5;
 
-/// All-pairs shortest path distances, ps. `None` = unreachable.
-fn all_pairs(topo: &Topology) -> Vec<Vec<Option<u64>>> {
+/// All-pairs shortest path distances over links accepted by `link_ok`,
+/// ps. `None` = unreachable.
+fn all_pairs(topo: &Topology, link_ok: &dyn Fn(LinkId) -> bool) -> Vec<Vec<Option<u64>>> {
     (0..topo.node_count())
         .map(|i| {
-            let paths = shortest_paths(topo, NodeId(i as u32));
+            let paths = shortest_paths_filtered(topo, NodeId(i as u32), link_ok);
             (0..topo.node_count())
                 .map(|j| paths.get(&NodeId(j as u32)).map(|&(d, _)| d))
                 .collect()
@@ -72,13 +73,29 @@ pub fn enumerate_options(
     demands: &[Demand],
     max_options_per_demand: usize,
 ) -> ProblemInstance {
+    enumerate_options_filtered(topo, node_slots, demands, max_options_per_demand, &|_| true)
+}
+
+/// [`enumerate_options`] restricted to links accepted by `link_ok` — the
+/// fault-recovery variant. Detour legs and direct baselines are both
+/// measured over the surviving links only, so a placement stranded
+/// behind a cut fiber prices in its real (possibly unreachable) detour
+/// instead of the nominal one, and the solver moves compute onto sites
+/// the post-fault paths actually visit.
+pub fn enumerate_options_filtered(
+    topo: &Topology,
+    node_slots: &[usize],
+    demands: &[Demand],
+    max_options_per_demand: usize,
+    link_ok: &dyn Fn(LinkId) -> bool,
+) -> ProblemInstance {
     assert_eq!(
         node_slots.len(),
         topo.node_count(),
         "node_slots must cover every node"
     );
     assert!(max_options_per_demand >= 1, "need at least one option slot");
-    let dist = all_pairs(topo);
+    let dist = all_pairs(topo, link_ok);
     let compute_sites: Vec<NodeId> = (0..node_slots.len())
         .filter(|&n| node_slots[n] > 0)
         .map(|n| NodeId(n as u32))
@@ -250,6 +267,43 @@ mod tests {
             .map(|o| o.cost)
             .fold(f64::MAX, f64::min);
         assert_eq!(capped.options[0][0].cost, min_cost);
+    }
+
+    #[test]
+    fn cut_link_reprices_the_stranded_site() {
+        let (topo, slots) = fig1();
+        let demands = vec![p1_demand(0, 0, 3)]; // A → D
+                                                // Cut A–B (the first link incident to A toward B).
+        let a = topo.find_node("A").unwrap();
+        let b = topo.find_node("B").unwrap();
+        let cut = topo
+            .neighbors(a)
+            .into_iter()
+            .find(|&(_, n)| n == b)
+            .map(|(l, _)| l)
+            .unwrap();
+        let inst = enumerate_options_filtered(&topo, &slots, &demands, 10, &|l| l != cut);
+        let via_b = inst.options[0]
+            .iter()
+            .find(|o| o.placement[0] == NodeId(1))
+            .unwrap();
+        let via_c = inst.options[0]
+            .iter()
+            .find(|o| o.placement[0] == NodeId(2))
+            .unwrap();
+        // C sits on the surviving A→C→D path: zero added latency. B is
+        // now a dead-end detour (A→C→D→B→D) and must price that in.
+        assert_eq!(via_c.added_latency_ps, 0);
+        assert!(via_b.added_latency_ps > 0);
+        assert!(via_c.cost < via_b.cost);
+    }
+
+    #[test]
+    fn fully_severed_endpoints_lose_all_options() {
+        let (topo, slots) = fig1();
+        let demands = vec![p1_demand(0, 0, 3)];
+        let inst = enumerate_options_filtered(&topo, &slots, &demands, 10, &|_| false);
+        assert!(inst.options[0].is_empty(), "no surviving links, no plan");
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Protection switching: precomputed disjoint backup paths,
+//! failure-aware slot exclusion, and time-to-recovery accounting.
+//!
+//! The §3 controller "monitors the network" — this module is what it
+//! does when monitoring reports a failure. Ahead of time it precomputes,
+//! per protected (src, dst) pair, a primary path and a link-disjoint
+//! backup ([`disjoint_pair`]); on a fiber cut the backup is known
+//! immediately, without a route computation on the critical path. For
+//! engine-site failures, [`surviving_slots`] masks the failed sites out
+//! of the slot inventory so the allocator re-runs over survivors only.
+//!
+//! Recovery time is modeled as three sequential stages —
+//! loss-of-light/watchdog **detection**, allocator **re-run**, and the
+//! staged per-router **install** of the new `UpdatePlan` (same model as
+//! `ofpc_core::protocol::staged_rollout`) — accounted by
+//! [`RecoveryParams::timeline`]. The bound in
+//! [`RecoveryParams::ttr_bound_ps`] is what experiment E13 checks p99
+//! time-to-recovery against.
+
+use ofpc_net::routing::{path_links, shortest_path_nodes, shortest_path_nodes_filtered};
+use ofpc_net::{LinkId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A protected (src, dst) pair: the primary path and, when the topology
+/// allows one, a link-disjoint backup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtectedPair {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub primary_nodes: Vec<NodeId>,
+    pub primary_links: Vec<LinkId>,
+    /// Link-disjoint backup path, if the topology provides one.
+    pub backup_nodes: Option<Vec<NodeId>>,
+    pub backup_links: Option<Vec<LinkId>>,
+}
+
+impl ProtectedPair {
+    /// Whether a cut of `link` takes down the primary path.
+    pub fn primary_uses(&self, link: LinkId) -> bool {
+        self.primary_links.contains(&link)
+    }
+
+    /// The path to use given a set of downed links: primary if intact,
+    /// else the backup if *it* is intact, else `None` (recovery falls
+    /// back to a full reroute).
+    pub fn surviving_path(&self, down: &[LinkId]) -> Option<&[NodeId]> {
+        if !self.primary_links.iter().any(|l| down.contains(l)) {
+            return Some(&self.primary_nodes);
+        }
+        match (&self.backup_nodes, &self.backup_links) {
+            (Some(nodes), Some(links)) if !links.iter().any(|l| down.contains(l)) => Some(nodes),
+            _ => None,
+        }
+    }
+}
+
+/// Precompute a primary path and link-disjoint backup for (src, dst):
+/// primary = delay-shortest path; backup = shortest path over the
+/// topology with the primary's links removed. Returns `None` when no
+/// path exists at all; `backup_*` are `None` when the pair is not
+/// 2-link-connected.
+pub fn disjoint_pair(topo: &Topology, src: NodeId, dst: NodeId) -> Option<ProtectedPair> {
+    let primary_nodes = shortest_path_nodes(topo, src, dst)?;
+    let primary_links = path_links(topo, &primary_nodes).expect("path nodes are adjacent");
+    let exclude = primary_links.clone();
+    let backup_nodes =
+        shortest_path_nodes_filtered(topo, src, dst, &|l: LinkId| !exclude.contains(&l));
+    let backup_links = backup_nodes
+        .as_ref()
+        .map(|nodes| path_links(topo, nodes).expect("path nodes are adjacent"));
+    Some(ProtectedPair {
+        src,
+        dst,
+        primary_nodes,
+        primary_links,
+        backup_nodes,
+        backup_links,
+    })
+}
+
+/// Precompute protected pairs for many (src, dst) tuples (skipping
+/// unreachable ones).
+pub fn precompute_protection(topo: &Topology, pairs: &[(NodeId, NodeId)]) -> Vec<ProtectedPair> {
+    pairs
+        .iter()
+        .filter_map(|&(s, d)| disjoint_pair(topo, s, d))
+        .collect()
+}
+
+/// Slot inventory with failed sites excluded: the allocator input for
+/// the re-run after an engine hard-fail (a failed site contributes zero
+/// usable transponders until repaired).
+pub fn surviving_slots(slots: &[usize], failed: &[NodeId]) -> Vec<usize> {
+    slots
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            if failed.iter().any(|n| n.0 as usize == i) {
+                0
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+/// Recovery-stage durations (all picoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryParams {
+    /// Fault → detection: loss-of-light at the photodetector or the
+    /// watchdog's debounced trip. Default 50 µs (SONET-class LOS
+    /// detection is tens of microseconds).
+    pub detection_ps: u64,
+    /// Detection → new allocation: the controller's solver re-run over
+    /// surviving sites. Default 1 ms.
+    pub realloc_ps: u64,
+    /// Per-router staged install gap for the new plan (§3's "next-hop
+    /// updates to all routers", delivered one router at a time).
+    /// Default 200 µs per router.
+    pub per_router_install_ps: u64,
+}
+
+impl Default for RecoveryParams {
+    fn default() -> Self {
+        RecoveryParams {
+            detection_ps: 50_000_000,           // 50 µs
+            realloc_ps: 1_000_000_000,          // 1 ms
+            per_router_install_ps: 200_000_000, // 200 µs
+        }
+    }
+}
+
+/// When each recovery stage completed for one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryTimeline {
+    pub fault_at_ps: u64,
+    pub detected_at_ps: u64,
+    pub reallocated_at_ps: u64,
+    /// Last router updated — service is restored from here.
+    pub installed_at_ps: u64,
+}
+
+impl RecoveryTimeline {
+    /// Time to recovery: fault to full re-install.
+    pub fn ttr_ps(&self) -> u64 {
+        self.installed_at_ps - self.fault_at_ps
+    }
+}
+
+impl RecoveryParams {
+    /// Build the timeline for a fault at `fault_at_ps` whose re-install
+    /// touches `routers_updated` routers.
+    pub fn timeline(&self, fault_at_ps: u64, routers_updated: usize) -> RecoveryTimeline {
+        let detected_at_ps = fault_at_ps + self.detection_ps;
+        let reallocated_at_ps = detected_at_ps + self.realloc_ps;
+        let installed_at_ps =
+            reallocated_at_ps + routers_updated as u64 * self.per_router_install_ps;
+        RecoveryTimeline {
+            fault_at_ps,
+            detected_at_ps,
+            reallocated_at_ps,
+            installed_at_ps,
+        }
+    }
+
+    /// Upper bound on TTR for a network of `routers` routers — every
+    /// recovery must complete within detection + realloc + full staged
+    /// install. E13 asserts measured p99 TTR against this.
+    pub fn ttr_bound_ps(&self, routers: usize) -> u64 {
+        self.detection_ps + self.realloc_ps + routers as u64 * self.per_router_install_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_a_d_has_disjoint_protection() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let d = t.find_node("D").unwrap();
+        let pair = disjoint_pair(&t, a, d).unwrap();
+        assert_eq!(pair.primary_nodes.len(), 3);
+        let backup = pair.backup_nodes.as_ref().expect("fig1 is 2-connected A→D");
+        assert_eq!(backup.len(), 3);
+        // Truly link-disjoint.
+        let bl = pair.backup_links.as_ref().unwrap();
+        assert!(bl.iter().all(|l| !pair.primary_links.contains(l)));
+        // Middle hops differ (B vs C).
+        assert_ne!(pair.primary_nodes[1], backup[1]);
+    }
+
+    #[test]
+    fn surviving_path_switches_on_cut() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let d = t.find_node("D").unwrap();
+        let pair = disjoint_pair(&t, a, d).unwrap();
+        // Intact: primary.
+        assert_eq!(pair.surviving_path(&[]), Some(&pair.primary_nodes[..]));
+        // Cut the primary's first link: backup takes over.
+        let cut = pair.primary_links[0];
+        assert!(pair.primary_uses(cut));
+        let surviving = pair.surviving_path(&[cut]).expect("backup survives");
+        assert_eq!(surviving, &pair.backup_nodes.as_ref().unwrap()[..]);
+        // Cut both paths: nothing precomputed survives.
+        let mut down = pair.primary_links.clone();
+        down.extend(pair.backup_links.as_ref().unwrap());
+        assert_eq!(pair.surviving_path(&down), None);
+    }
+
+    #[test]
+    fn line_topology_has_no_backup() {
+        let t = Topology::line(3, 100.0);
+        let pair = disjoint_pair(&t, NodeId(0), NodeId(2)).unwrap();
+        assert!(pair.backup_nodes.is_none());
+        assert_eq!(pair.surviving_path(&[pair.primary_links[0]]), None);
+    }
+
+    #[test]
+    fn surviving_slots_masks_failed_sites() {
+        let slots = vec![2, 3, 1, 4];
+        let out = surviving_slots(&slots, &[NodeId(1), NodeId(3)]);
+        assert_eq!(out, vec![2, 0, 1, 0]);
+        assert_eq!(surviving_slots(&slots, &[]), slots);
+    }
+
+    #[test]
+    fn timeline_accounts_stage_by_stage() {
+        let p = RecoveryParams {
+            detection_ps: 10,
+            realloc_ps: 100,
+            per_router_install_ps: 5,
+        };
+        let t = p.timeline(1_000, 4);
+        assert_eq!(t.detected_at_ps, 1_010);
+        assert_eq!(t.reallocated_at_ps, 1_110);
+        assert_eq!(t.installed_at_ps, 1_130);
+        assert_eq!(t.ttr_ps(), 130);
+        assert!(t.ttr_ps() <= p.ttr_bound_ps(4));
+        // Bound is tight at full-network installs.
+        assert_eq!(p.ttr_bound_ps(4), 130);
+    }
+
+    #[test]
+    fn precompute_skips_unreachable_pairs() {
+        let mut t = Topology::new();
+        let x = t.add_node("x");
+        let y = t.add_node("y");
+        let z = t.add_node("z");
+        t.add_link(x, y, 10.0);
+        let pairs = precompute_protection(&t, &[(x, y), (x, z)]);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].dst, y);
+    }
+}

@@ -12,9 +12,9 @@ use crate::demand::Demand;
 use crate::options::ProblemInstance;
 use crate::Allocation;
 use ofpc_engine::Primitive;
-use ofpc_net::routing::shortest_paths;
+use ofpc_net::routing::shortest_paths_filtered;
 use ofpc_net::sim::{Network, OpSpec};
-use ofpc_net::{NodeId, Prefix};
+use ofpc_net::{LinkId, NodeId, Prefix};
 use serde::{Deserialize, Serialize};
 
 /// One engine installation command.
@@ -91,16 +91,72 @@ pub fn build_plan(
     plan
 }
 
+/// Why a plan command could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApplyError {
+    /// The command's target node does not exist in the topology.
+    NodeMissing(NodeId),
+    /// No router can reach the override's `via` over the surviving
+    /// links, so the override landed nowhere.
+    ViaUnreachable(NodeId),
+}
+
+/// One command that failed to apply, with the reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailedCmd {
+    Install(InstallCmd, ApplyError),
+    Override(RouteOverrideCmd, ApplyError),
+}
+
+/// What [`apply_plan`] actually did — the controller inspects this
+/// instead of assuming every command landed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ApplyReport {
+    /// Engine slots newly installed.
+    pub installed: usize,
+    /// Installs skipped because an identical slot (same node, op id,
+    /// spec) already exists — re-applying a plan is a no-op, not a
+    /// duplicate.
+    pub skipped_installs: usize,
+    /// Override commands that landed on at least one router.
+    pub overrides_installed: usize,
+    /// Commands that could not be applied, with reasons.
+    pub failed: Vec<FailedCmd>,
+}
+
+impl ApplyReport {
+    /// True when every command either applied or was already in place.
+    pub fn fully_applied(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
 /// Apply an update plan to a simulated network: install engine slots and
 /// per-router dual-field overrides. `op_specs` supplies the semantics
 /// for each installed op id (weights/pattern).
+///
+/// Idempotent: an install whose exact slot (node, op id, spec) already
+/// exists is skipped, so re-applying a plan — e.g. the staged re-install
+/// after protection switching — never duplicates engines. Commands that
+/// cannot be applied (missing node, `via` unreachable over surviving
+/// links) are returned in [`ApplyReport::failed`] rather than silently
+/// dropped. Override path computation avoids downed links.
 pub fn apply_plan(
     net: &mut Network,
     plan: &UpdatePlan,
     op_specs: &dyn Fn(u16, Primitive) -> OpSpec,
     noise_sigma: f64,
-) {
+) -> ApplyReport {
+    let mut report = ApplyReport::default();
+    let node_count = net.topo.node_count();
     for install in &plan.installs {
+        if install.node.0 as usize >= node_count {
+            report.failed.push(FailedCmd::Install(
+                install.clone(),
+                ApplyError::NodeMissing(install.node),
+            ));
+            continue;
+        }
         let spec = op_specs(install.op_id, install.primitive);
         assert_eq!(
             spec.primitive(),
@@ -108,28 +164,57 @@ pub fn apply_plan(
             "op spec primitive mismatch for op {}",
             install.op_id
         );
+        let already = net
+            .engines_at(install.node)
+            .iter()
+            .any(|s| s.op_id == install.op_id && s.spec == spec);
+        if already {
+            report.skipped_installs += 1;
+            continue;
+        }
         net.add_engine(install.node, install.op_id, spec, noise_sigma);
+        report.installed += 1;
     }
     // Install overrides: at every router, pending packets for
-    // (dst_prefix, primitive) head toward `via` along shortest paths.
+    // (dst_prefix, primitive) head toward `via` along shortest paths
+    // over the links still up.
     for ov in &plan.overrides {
-        let node_count = net.topo.node_count();
+        if ov.via.0 as usize >= node_count {
+            report.failed.push(FailedCmd::Override(
+                ov.clone(),
+                ApplyError::NodeMissing(ov.via),
+            ));
+            continue;
+        }
+        let link_ok = |l: LinkId| net.link_is_up(l);
+        let mut first_links = Vec::with_capacity(node_count);
         for r in 0..node_count {
             let router = NodeId(r as u32);
             if router == ov.via {
                 continue;
             }
-            let paths = shortest_paths(&net.topo, router);
-            let Some(&(_, Some(first_link))) = paths.get(&ov.via) else {
-                continue;
-            };
+            let paths = shortest_paths_filtered(&net.topo, router, &link_ok);
+            if let Some(&(_, Some(first_link))) = paths.get(&ov.via) {
+                first_links.push((router, first_link));
+            }
+        }
+        if first_links.is_empty() && node_count > 1 {
+            report.failed.push(FailedCmd::Override(
+                ov.clone(),
+                ApplyError::ViaUnreachable(ov.via),
+            ));
+            continue;
+        }
+        for (router, first_link) in first_links {
             net.routing_table_mut(router).install_compute_override(
                 ov.dst_prefix,
                 ov.primitive,
                 first_link,
             );
         }
+        report.overrides_installed += 1;
     }
+    report
 }
 
 #[cfg(test)]
@@ -206,6 +291,103 @@ mod tests {
         net.run_to_idle();
         assert_eq!(net.stats.delivered_count(), 1);
         assert!(net.stats.delivered[0].computed, "packet was never computed");
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let topo = Topology::fig1();
+        let slots = vec![0, 1, 1, 0];
+        let demands = vec![Demand::new(3, NodeId(0), NodeId(3), TaskDag::single(P1))];
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        let sol = solve_exact(&inst, 1_000_000);
+        let plan = build_plan(&demands, &inst, &sol.allocation);
+
+        let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
+        net.install_shortest_path_routes();
+        let specs = |_op: u16, _p: Primitive| OpSpec::Dot {
+            weights: vec![1.0; 4],
+        };
+        let first = apply_plan(&mut net, &plan, &specs, 0.0);
+        assert_eq!(first.installed, 1);
+        assert_eq!(first.skipped_installs, 0);
+        assert!(first.fully_applied());
+        let engines_before: usize = (0..4).map(|n| net.engines_at(NodeId(n)).len()).sum();
+
+        // Re-applying the same plan changes nothing and reports skips.
+        let second = apply_plan(&mut net, &plan, &specs, 0.0);
+        assert_eq!(second.installed, 0);
+        assert_eq!(second.skipped_installs, 1);
+        assert!(second.fully_applied());
+        let engines_after: usize = (0..4).map(|n| net.engines_at(NodeId(n)).len()).sum();
+        assert_eq!(engines_before, engines_after, "no duplicate slots");
+    }
+
+    #[test]
+    fn apply_reports_unappliable_commands() {
+        let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
+        net.install_shortest_path_routes();
+        let plan = UpdatePlan {
+            installs: vec![InstallCmd {
+                node: NodeId(99), // no such node
+                primitive: P1,
+                op_id: 0,
+            }],
+            overrides: vec![RouteOverrideCmd {
+                router: NodeId(42),
+                dst_prefix: Network::node_prefix(NodeId(3)),
+                primitive: P1,
+                via: NodeId(42), // no such node either
+            }],
+            unsatisfied: vec![],
+        };
+        let report = apply_plan(
+            &mut net,
+            &plan,
+            &|_, _| OpSpec::Dot { weights: vec![1.0] },
+            0.0,
+        );
+        assert!(!report.fully_applied());
+        assert_eq!(report.installed, 0);
+        assert_eq!(report.overrides_installed, 0);
+        assert_eq!(report.failed.len(), 2);
+        assert!(matches!(
+            report.failed[0],
+            FailedCmd::Install(_, ApplyError::NodeMissing(NodeId(99)))
+        ));
+        assert!(matches!(
+            report.failed[1],
+            FailedCmd::Override(_, ApplyError::NodeMissing(NodeId(42)))
+        ));
+    }
+
+    #[test]
+    fn apply_reports_via_unreachable_over_cut_links() {
+        // Isolate node B by cutting all its links: an override via B
+        // cannot land anywhere and must be reported, not dropped.
+        let mut net = Network::new(Topology::fig1(), SimRng::seed_from_u64(0));
+        net.install_shortest_path_routes();
+        let b = net.topo.find_node("B").unwrap();
+        let b_links: Vec<ofpc_net::LinkId> =
+            net.topo.neighbors(b).into_iter().map(|(l, _)| l).collect();
+        for l in b_links {
+            net.set_link_up(l, false);
+        }
+        let plan = UpdatePlan {
+            installs: vec![],
+            overrides: vec![RouteOverrideCmd {
+                router: b,
+                dst_prefix: Network::node_prefix(NodeId(3)),
+                primitive: P1,
+                via: b,
+            }],
+            unsatisfied: vec![],
+        };
+        let report = apply_plan(&mut net, &plan, &|_, _| OpSpec::Nonlinear, 0.0);
+        assert_eq!(report.overrides_installed, 0);
+        assert!(matches!(
+            report.failed[..],
+            [FailedCmd::Override(_, ApplyError::ViaUnreachable(v))] if v == b
+        ));
     }
 
     #[test]

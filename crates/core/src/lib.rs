@@ -28,8 +28,9 @@ use ofpc_controller::demand::Demand;
 use ofpc_controller::greedy::solve_greedy;
 use ofpc_controller::ilp::solve_exact;
 use ofpc_controller::lp::{round_lp, solve_lp};
-use ofpc_controller::options::enumerate_options;
-use ofpc_controller::teupdate::{apply_plan, build_plan, UpdatePlan};
+use ofpc_controller::options::enumerate_options_filtered;
+use ofpc_controller::protection::surviving_slots;
+use ofpc_controller::teupdate::{apply_plan, build_plan, ApplyReport, UpdatePlan};
 use ofpc_controller::Allocation;
 use ofpc_engine::Primitive;
 use ofpc_net::sim::{Network, OpSpec};
@@ -64,6 +65,12 @@ pub struct OnFiberNetwork {
     rng: SimRng,
     /// The last applied update plan (for inspection).
     pub last_plan: Option<UpdatePlan>,
+    /// What happened when the last plan was applied: fresh installs,
+    /// idempotent skips, and commands that could not be applied.
+    pub last_apply: Option<ApplyReport>,
+    /// Sites currently marked failed (excluded from allocation until
+    /// [`OnFiberNetwork::repair_site`]).
+    failed_sites: Vec<NodeId>,
 }
 
 impl OnFiberNetwork {
@@ -81,6 +88,8 @@ impl OnFiberNetwork {
             engine_noise_sigma: 0.0,
             rng,
             last_plan: None,
+            last_apply: None,
+            failed_sites: Vec::new(),
         }
     }
 
@@ -175,9 +184,53 @@ impl OnFiberNetwork {
 
     /// Run the controller: enumerate options, solve, build the plan, and
     /// apply it to the network (engine installs + route overrides).
-    /// Returns the update plan.
+    /// Sites marked failed are excluded from the capacity vector.
+    /// Returns the update plan; [`OnFiberNetwork::last_apply`] records
+    /// how the installation went.
     pub fn allocate_and_apply(&mut self, solver: Solver) -> &UpdatePlan {
-        let instance = enumerate_options(&self.net.topo, &self.slots, &self.demands, 16);
+        let slots = surviving_slots(&self.slots, &self.failed_sites);
+        self.solve_and_apply(solver, &slots)
+    }
+
+    /// Recovery re-run after engine hard-fails: mark `failed` sites out,
+    /// flag their engine slots unhealthy (in-flight packets pass through
+    /// tagged rather than carrying garbage), reconverge routes around any
+    /// downed links, and re-run the allocator over the survivors. The
+    /// failed sites stay excluded until [`OnFiberNetwork::repair_site`].
+    pub fn reallocate_excluding(&mut self, failed: &[NodeId], solver: Solver) -> &UpdatePlan {
+        for &node in failed {
+            if !self.failed_sites.contains(&node) {
+                self.failed_sites.push(node);
+            }
+            self.net.set_engine_health(node, false);
+        }
+        // Routes first (wipes stale compute detours over dead paths),
+        // then the plan re-install lays fresh overrides on top.
+        self.net.reconverge_routes();
+        let slots = surviving_slots(&self.slots, &self.failed_sites);
+        self.solve_and_apply(solver, &slots)
+    }
+
+    /// Bring a failed site back: clear its exclusion and restore its
+    /// engine slots to healthy. The next allocation may use it again.
+    pub fn repair_site(&mut self, node: NodeId) {
+        self.failed_sites.retain(|&n| n != node);
+        self.net.set_engine_health(node, true);
+    }
+
+    /// Sites currently excluded from allocation.
+    pub fn failed_sites(&self) -> &[NodeId] {
+        &self.failed_sites
+    }
+
+    fn solve_and_apply(&mut self, solver: Solver, slots: &[usize]) -> &UpdatePlan {
+        // Enumerate over the links currently up: placements stranded
+        // behind a cut price in their real detour (or drop out entirely
+        // when unreachable), so protection switching moves compute onto
+        // the surviving paths instead of re-installing the old plan.
+        let instance = enumerate_options_filtered(&self.net.topo, slots, &self.demands, 16, &|l| {
+            self.net.link_is_up(l)
+        });
         let allocation: Allocation = match solver {
             Solver::Exact { node_budget } => solve_exact(&instance, node_budget).allocation,
             Solver::Greedy => solve_greedy(&instance).allocation,
@@ -188,7 +241,7 @@ impl OnFiberNetwork {
         };
         let plan = build_plan(&self.demands, &instance, &allocation);
         let specs = self.op_specs.clone();
-        apply_plan(
+        let report = apply_plan(
             &mut self.net,
             &plan,
             &move |op_id, prim| {
@@ -201,6 +254,7 @@ impl OnFiberNetwork {
             },
             self.engine_noise_sigma,
         );
+        self.last_apply = Some(report);
         self.last_plan = Some(plan);
         self.last_plan.as_ref().expect("just set")
     }
@@ -312,6 +366,70 @@ mod tests {
         });
         assert_eq!(plan.unsatisfied.len(), 2);
         assert_eq!(plan.installs.len(), 1);
+    }
+
+    #[test]
+    fn reallocation_excludes_failed_site_and_recovers_service() {
+        let mut sys = fig1_system();
+        sys.submit_demand(
+            Demand::new(1, NodeId(0), NodeId(3), TaskDag::single(P1)),
+            OpSpec::Dot {
+                weights: vec![0.25; 8],
+            },
+        );
+        let solver = Solver::Exact {
+            node_budget: 1_000_000,
+        };
+        let first = sys.allocate_and_apply(solver).clone();
+        assert!(first.unsatisfied.is_empty());
+        let failed_site = first.installs[0].node;
+        assert!(sys.last_apply.as_ref().unwrap().fully_applied());
+
+        // Hard-fail the chosen site: the re-run must place the demand on
+        // the surviving upgraded site instead.
+        let second = sys.reallocate_excluding(&[failed_site], solver).clone();
+        assert!(second.unsatisfied.is_empty(), "survivor should absorb it");
+        assert_eq!(second.installs.len(), 1);
+        let new_site = second.installs[0].node;
+        assert_ne!(new_site, failed_site, "must move off the failed site");
+        assert_eq!(sys.failed_sites(), &[failed_site]);
+        assert!(sys.last_apply.as_ref().unwrap().fully_applied());
+
+        // Traffic still gets computed — by the survivor.
+        let pch = PchHeader::request(P1, 1, 8);
+        let p = Packet::compute(
+            Network::node_addr(NodeId(0), 1),
+            Network::node_addr(NodeId(3), 1),
+            1,
+            pch,
+            Packet::encode_operands(&[0.5; 8]),
+        );
+        sys.net.inject(0, NodeId(0), p);
+        sys.net.run_to_idle();
+        assert_eq!(sys.net.stats.delivered_count(), 1);
+        let rec = &sys.net.stats.delivered[0];
+        assert!(rec.computed, "survivor engine must compute");
+        assert_eq!(rec.status, ofpc_net::pch::ResultStatus::Ok);
+
+        // Repair re-admits the site to future allocations.
+        sys.repair_site(failed_site);
+        assert!(sys.failed_sites().is_empty());
+    }
+
+    #[test]
+    fn failing_every_site_reports_unsatisfied() {
+        let mut sys = fig1_system();
+        sys.submit_demand(
+            Demand::new(1, NodeId(0), NodeId(3), TaskDag::single(P1)),
+            OpSpec::Dot { weights: vec![1.0] },
+        );
+        let solver = Solver::Greedy;
+        sys.allocate_and_apply(solver);
+        let plan = sys
+            .reallocate_excluding(&[NodeId(1), NodeId(2)], solver)
+            .clone();
+        assert_eq!(plan.unsatisfied, vec![1], "no survivors → unsatisfied");
+        assert!(plan.installs.is_empty());
     }
 
     #[test]

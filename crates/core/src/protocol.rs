@@ -18,6 +18,7 @@
 use ofpc_engine::Primitive;
 use ofpc_net::packet::Packet;
 use ofpc_net::pch::PchHeader;
+pub use ofpc_net::pch::ResultStatus;
 use ofpc_net::routing::shortest_paths;
 use ofpc_net::sim::Network;
 use ofpc_net::{Addr, NodeId};
@@ -39,13 +40,51 @@ pub fn tag_request(
     Packet::compute(src, dst, packet_id, pch, Packet::encode_operands(operands))
 }
 
-/// Extract the computed result from a delivered packet, if any.
+/// Extract the computed result from a delivered packet, if any. Returns
+/// `None` for uncomputed packets *and* for results whose status is not
+/// [`ResultStatus::Ok`] — a value stamped by an unhealthy engine or past
+/// its deadline is garbage, not a result.
 pub fn read_result(packet: &Packet) -> Option<f64> {
     packet
         .pch
         .as_ref()
-        .filter(|pch| pch.is_computed())
+        .filter(|pch| pch.is_computed() && pch.status() == ResultStatus::Ok)
         .map(|pch| pch.result())
+}
+
+/// What a receiver learns from a delivered compute packet: the result
+/// status and the value (present only when computed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultOutcome {
+    pub status: ResultStatus,
+    /// The in-band result, if any engine executed the op (regardless of
+    /// status — callers deciding to salvage a degraded value see it
+    /// here; [`read_result`] is the strict accessor).
+    pub value: Option<f64>,
+}
+
+/// Full status-aware read of a delivered compute packet. Plain packets
+/// (no PCH) report `Ok` with no value.
+pub fn read_outcome(packet: &Packet) -> ResultOutcome {
+    match packet.pch.as_ref() {
+        None => ResultOutcome {
+            status: ResultStatus::Ok,
+            value: None,
+        },
+        Some(pch) => ResultOutcome {
+            status: pch.status(),
+            value: pch.is_computed().then(|| pch.result()),
+        },
+    }
+}
+
+/// Stamp a request as timed out (deadline passed before any engine ran
+/// it) — serving layers call this before returning the packet so the
+/// receiver never mistakes a stale field for a fresh result.
+pub fn mark_timed_out(packet: &mut Packet) {
+    if let Some(pch) = packet.pch.as_mut() {
+        pch.set_status(ResultStatus::TimedOut);
+    }
 }
 
 /// Per-packet protocol overhead in bytes for an operand vector of length
@@ -172,6 +211,51 @@ mod tests {
         let mut computed = p.clone();
         computed.pch.as_mut().unwrap().mark_computed(1.25);
         assert!((read_result(&computed).unwrap() - 1.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn result_status_round_trips_through_the_wire() {
+        use bytes::BytesMut;
+        let src = Addr::new(10, 0, 0, 1);
+        let dst = Addr::new(10, 0, 3, 1);
+        // Engine-unhealthy pass-through: computed=false, status set.
+        let mut p = tag_request(src, dst, 1, P1, 9, &[0.5, 0.25]);
+        p.pch
+            .as_mut()
+            .unwrap()
+            .set_status(ResultStatus::EngineUnhealthy);
+        // Round-trip the PCH over its wire format, as a router would.
+        let mut buf = BytesMut::new();
+        p.pch.as_ref().unwrap().write_to(&mut buf);
+        let parsed = ofpc_net::pch::PchHeader::read_from(&mut buf.freeze()).unwrap();
+        assert_eq!(parsed.status(), ResultStatus::EngineUnhealthy);
+        let outcome = read_outcome(&p);
+        assert_eq!(outcome.status, ResultStatus::EngineUnhealthy);
+        assert_eq!(outcome.value, None);
+        assert_eq!(read_result(&p), None);
+
+        // Timed-out request.
+        let mut p = tag_request(src, dst, 2, P1, 9, &[1.0]);
+        mark_timed_out(&mut p);
+        assert_eq!(read_outcome(&p).status, ResultStatus::TimedOut);
+        assert_eq!(read_result(&p), None);
+
+        // Healthy compute: Ok status, value visible both ways.
+        let mut p = tag_request(src, dst, 3, P1, 9, &[1.0]);
+        p.pch.as_mut().unwrap().mark_computed(2.5);
+        let outcome = read_outcome(&p);
+        assert_eq!(outcome.status, ResultStatus::Ok);
+        assert!((outcome.value.unwrap() - 2.5).abs() < 0.01);
+        assert!((read_result(&p).unwrap() - 2.5).abs() < 0.01);
+
+        // A computed value stamped non-Ok is salvageable via outcome but
+        // hidden from the strict accessor.
+        p.pch
+            .as_mut()
+            .unwrap()
+            .set_status(ResultStatus::EngineUnhealthy);
+        assert_eq!(read_result(&p), None);
+        assert!(read_outcome(&p).value.is_some());
     }
 
     #[test]

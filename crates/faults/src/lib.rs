@@ -1,0 +1,34 @@
+//! # ofpc-faults — fault injection and failure recovery
+//!
+//! The robustness question the paper leaves open: computing *in* the
+//! network means inheriting the network's failure modes. A WAN loses
+//! fibers to backhoes, amplifiers drift, lasers droop, photodetectors
+//! degrade — and unlike a datacenter accelerator, a photonic engine
+//! spliced into a live route cannot simply be rebooted out of the data
+//! path. This crate closes the loop the §3 controller sketches
+//! ("continuously track the status of all photonic compute
+//! transponders"): inject faults, detect them, and recover.
+//!
+//! * [`plan`] — [`plan::FaultPlan`]: a deterministic, seedable schedule
+//!   of timed fault events (fiber cuts, link flaps, engine hard-fails,
+//!   analog noise steps), including Poisson MTBF/MTTR generation.
+//! * [`mod@inject`] — threads a plan into `ofpc-net`'s discrete-event
+//!   simulator as scheduled events, so faults interleave with packets
+//!   in one deterministic timeline.
+//! * [`drift`] — slow analog failure models (EDFA gain drift, laser
+//!   power droop, photodetector responsivity degradation) mapped to the
+//!   observables the `ofpc-transponder` watchdog consumes.
+//! * [`orchestrator`] — the recovery loop: reconverge routes, re-run the
+//!   allocator excluding failed sites, re-install the plan, and account
+//!   time-to-recovery ([`ofpc_controller::RecoveryTimeline`]) and
+//!   availability.
+
+pub mod drift;
+pub mod inject;
+pub mod orchestrator;
+pub mod plan;
+
+pub use drift::{EdfaGainDrift, LaserDroop, PdDegradation};
+pub use inject::inject;
+pub use orchestrator::{AvailabilityLedger, Orchestrator, RecoveryOutcome};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, MtbfSpec};

@@ -34,6 +34,36 @@ pub const PCH_WIRE_BYTES: usize = 8;
 pub const FLAG_COMPUTED: u8 = 0b0000_0001;
 /// Flag bit 1: the full result rides in the payload.
 pub const FLAG_RESULT_IN_PAYLOAD: u8 = 0b0000_0010;
+/// Flag bits 2–3: result status ([`ResultStatus`]), so a receiver can
+/// tell a valid analog result from one skipped or corrupted by a fault.
+pub const STATUS_MASK: u8 = 0b0000_1100;
+/// Bit offset of the status field inside `flags`.
+pub const STATUS_SHIFT: u8 = 2;
+
+/// Result health carried in the PCH flags byte (bits 2–3). `Ok` is the
+/// wire default so pre-fault-aware senders stay compatible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ResultStatus {
+    /// Result (if computed) came from a healthy engine.
+    Ok = 0,
+    /// A matching engine was found but its watchdog marked it unhealthy;
+    /// the op was skipped rather than emitting a garbage analog value.
+    EngineUnhealthy = 1,
+    /// The request waited past its deadline before any engine ran it.
+    TimedOut = 2,
+}
+
+impl ResultStatus {
+    /// Decode from the flags byte.
+    pub fn from_flags(flags: u8) -> Self {
+        match (flags & STATUS_MASK) >> STATUS_SHIFT {
+            1 => ResultStatus::EngineUnhealthy,
+            2 => ResultStatus::TimedOut,
+            _ => ResultStatus::Ok,
+        }
+    }
+}
 
 /// The photonic compute header.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -100,6 +130,16 @@ impl PchHeader {
     /// Decode the Q8.8 result summary.
     pub fn result(&self) -> f64 {
         self.result_q88 as f64 / 256.0
+    }
+
+    /// Result status carried in flag bits 2–3.
+    pub fn status(&self) -> ResultStatus {
+        ResultStatus::from_flags(self.flags)
+    }
+
+    /// Stamp the result status into flag bits 2–3.
+    pub fn set_status(&mut self, status: ResultStatus) {
+        self.flags = (self.flags & !STATUS_MASK) | ((status as u8) << STATUS_SHIFT);
     }
 
     /// Serialize to the wire.
@@ -186,6 +226,37 @@ mod tests {
         let mut h = PchHeader::request(Primitive::VectorDotProduct, 0, 1);
         h.mark_computed(-2.25);
         assert!((h.result() + 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn status_bits_round_trip_on_the_wire() {
+        for status in [
+            ResultStatus::Ok,
+            ResultStatus::EngineUnhealthy,
+            ResultStatus::TimedOut,
+        ] {
+            let mut h = PchHeader::request(Primitive::VectorDotProduct, 3, 16);
+            h.mark_computed(1.0);
+            h.set_status(status);
+            // Status must not clobber the other flag bits.
+            assert!(h.is_computed());
+            let mut buf = BytesMut::new();
+            h.write_to(&mut buf);
+            let parsed = PchHeader::read_from(&mut buf.freeze()).unwrap();
+            assert_eq!(parsed.status(), status);
+            assert!(parsed.is_computed());
+        }
+    }
+
+    #[test]
+    fn status_rewrites_replace_not_accumulate() {
+        let mut h = PchHeader::request(Primitive::PatternMatching, 1, 4);
+        h.set_status(ResultStatus::EngineUnhealthy);
+        h.set_status(ResultStatus::TimedOut);
+        assert_eq!(h.status(), ResultStatus::TimedOut);
+        h.set_status(ResultStatus::Ok);
+        assert_eq!(h.status(), ResultStatus::Ok);
+        assert_eq!(h.flags & STATUS_MASK, 0);
     }
 
     #[test]

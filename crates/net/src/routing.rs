@@ -19,6 +19,17 @@ use std::collections::{BinaryHeap, HashMap};
 /// Returns per-node `(distance_ps, first_hop_link)`; unreachable nodes
 /// are absent.
 pub fn shortest_paths(topo: &Topology, src: NodeId) -> HashMap<NodeId, (u64, Option<LinkId>)> {
+    shortest_paths_filtered(topo, src, &|_| true)
+}
+
+/// [`shortest_paths`] restricted to links accepted by `link_ok` — the
+/// reconvergence primitive: protection switching routes around cut
+/// fibers by filtering them out here.
+pub fn shortest_paths_filtered(
+    topo: &Topology,
+    src: NodeId,
+    link_ok: &dyn Fn(LinkId) -> bool,
+) -> HashMap<NodeId, (u64, Option<LinkId>)> {
     let mut dist: HashMap<NodeId, (u64, Option<LinkId>)> = HashMap::new();
     // Max-heap on Reverse(dist); entries: (Reverse(d), node, first_link).
     let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, u32, Option<u32>)> = BinaryHeap::new();
@@ -32,6 +43,9 @@ pub fn shortest_paths(topo: &Topology, src: NodeId) -> HashMap<NodeId, (u64, Opt
             }
         }
         for (link_id, next) in topo.neighbors(node) {
+            if !link_ok(link_id) {
+                continue;
+            }
             let nd = d + topo.link(link_id).delay_ps();
             let first_hop = if node == src { Some(link_id.0) } else { first };
             let better = match dist.get(&next) {
@@ -49,6 +63,17 @@ pub fn shortest_paths(topo: &Topology, src: NodeId) -> HashMap<NodeId, (u64, Opt
 
 /// Full path (sequence of nodes) from `src` to `dst` by delay, if any.
 pub fn shortest_path_nodes(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    shortest_path_nodes_filtered(topo, src, dst, &|_| true)
+}
+
+/// [`shortest_path_nodes`] restricted to links accepted by `link_ok`.
+/// Returns `None` when `dst` is unreachable over the surviving links.
+pub fn shortest_path_nodes_filtered(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    link_ok: &dyn Fn(LinkId) -> bool,
+) -> Option<Vec<NodeId>> {
     // Dijkstra with predecessor tracking.
     let mut dist: HashMap<NodeId, u64> = HashMap::new();
     let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
@@ -64,6 +89,9 @@ pub fn shortest_path_nodes(topo: &Topology, src: NodeId, dst: NodeId) -> Option<
             break;
         }
         for (link_id, next) in topo.neighbors(node) {
+            if !link_ok(link_id) {
+                continue;
+            }
             let nd = d + topo.link(link_id).delay_ps();
             if nd < *dist.get(&next).unwrap_or(&u64::MAX) {
                 dist.insert(next, nd);
@@ -83,6 +111,21 @@ pub fn shortest_path_nodes(topo: &Topology, src: NodeId, dst: NodeId) -> Option<
     }
     path.reverse();
     Some(path)
+}
+
+/// The links traversed by a node path (adjacent pairs resolved through
+/// the topology; picks the lowest-delay parallel link). Returns `None`
+/// if two consecutive nodes are not adjacent.
+pub fn path_links(topo: &Topology, path: &[NodeId]) -> Option<Vec<LinkId>> {
+    path.windows(2)
+        .map(|w| {
+            topo.neighbors(w[0])
+                .into_iter()
+                .filter(|&(_, n)| n == w[1])
+                .min_by_key(|&(l, _)| topo.link(l).delay_ps())
+                .map(|(l, _)| l)
+        })
+        .collect()
 }
 
 /// One forwarding entry: a default next hop and per-primitive overrides.
@@ -241,6 +284,27 @@ mod tests {
         assert_eq!(path[2], d);
         // Self-path.
         assert_eq!(shortest_path_nodes(&t, a, a).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn filtered_paths_avoid_cut_links() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let b = t.find_node("B").unwrap();
+        let d = t.find_node("D").unwrap();
+        // Cut every link incident to B: the A→D path must go via C.
+        let b_links: Vec<LinkId> = t.neighbors(b).into_iter().map(|(l, _)| l).collect();
+        let ok = |l: LinkId| !b_links.contains(&l);
+        let path = shortest_path_nodes_filtered(&t, a, d, &ok).unwrap();
+        assert_eq!(path.len(), 3);
+        assert!(!path.contains(&b), "detour must avoid B: {path:?}");
+        let links = path_links(&t, &path).unwrap();
+        assert_eq!(links.len(), 2);
+        assert!(links.iter().all(|l| ok(*l)));
+        // Filtered Dijkstra agrees on reachability and avoids B's links.
+        let sp = shortest_paths_filtered(&t, a, &ok);
+        assert!(sp.contains_key(&d));
+        assert!(!sp.contains_key(&b));
     }
 
     #[test]

@@ -16,9 +16,10 @@
 use crate::addr::{Addr, Prefix};
 use crate::events::EventQueue;
 use crate::packet::Packet;
+use crate::pch::ResultStatus;
 use crate::queue::{DropTailQueue, QueueStats};
-use crate::routing::{shortest_paths, RouteEntry, RoutingTable};
-use crate::stats::{DeliveryRecord, StatsCollector};
+use crate::routing::{shortest_paths_filtered, RouteEntry, RoutingTable};
+use crate::stats::{DeliveryRecord, DropReason, StatsCollector};
 use crate::topology::{LinkId, NodeId, Topology};
 use ofpc_engine::Primitive;
 use ofpc_photonics::energy::constants;
@@ -74,6 +75,10 @@ pub struct EngineSlot {
     pub spec: OpSpec,
     /// Additive Gaussian noise on analog results (0 = ideal).
     pub noise_sigma: f64,
+    /// Whether the watchdog considers this engine trustworthy. Unhealthy
+    /// slots skip execution (packets pass through tagged
+    /// [`ResultStatus::EngineUnhealthy`]) instead of emitting garbage.
+    pub healthy: bool,
     pub executions: u64,
     pub macs: u64,
     pub energy_j: f64,
@@ -84,12 +89,26 @@ pub struct EngineSlot {
 enum Ev {
     /// A packet enters the network at `node`.
     Inject { node: NodeId, packet: Packet },
-    /// A packet arrives at `node` from a link.
-    Arrive { node: NodeId, packet: Packet },
+    /// A packet arrives at `node` from link `via`. If the link was cut
+    /// while the packet was in flight, the light is lost and the packet
+    /// dropped.
+    Arrive {
+        node: NodeId,
+        packet: Packet,
+        via: LinkId,
+    },
     /// The engine at `node` finished computing on `packet`.
     EngineDone { node: NodeId, packet: Packet },
     /// A link direction finished serializing its current packet.
     TxDone { dir: usize },
+    /// Fault injection: a fiber is cut (`up = false`) or spliced back.
+    LinkState { link: LinkId, up: bool },
+    /// Fault injection: all engine slots at `node` change health.
+    EngineHealth { node: NodeId, healthy: bool },
+    /// Fault injection: analog drift moved the effective noise at `node`
+    /// (EDFA gain drift, laser droop, PD responsivity degradation all
+    /// land here as an effective sigma).
+    EngineNoise { node: NodeId, sigma: f64 },
 }
 
 /// Per-direction link state.
@@ -111,6 +130,8 @@ pub struct Network {
     rng: SimRng,
     /// Per-packet bookkeeping: creation time and hop count.
     meta: HashMap<u32, (u64, u32)>,
+    /// Per-link up/down state (fiber cuts). Indexed by `LinkId`.
+    link_up: Vec<bool>,
 }
 
 impl Network {
@@ -127,6 +148,7 @@ impl Network {
                 busy: false,
             })
             .collect();
+        let link_up = vec![true; topo.link_count()];
         Network {
             topo,
             tables,
@@ -136,6 +158,7 @@ impl Network {
             stats: StatsCollector::new(),
             rng,
             meta: HashMap::new(),
+            link_up,
         }
     }
 
@@ -165,20 +188,23 @@ impl Network {
 
     /// Install delay-shortest-path routes for every (node, destination)
     /// pair — the plain-IP baseline the controller's compute overrides
-    /// layer on top of.
+    /// layer on top of. Downed links are excluded, so calling this again
+    /// after a fiber cut reconverges the plain routing plane (see
+    /// [`Network::reconverge_routes`]). Destinations unreachable over the
+    /// surviving links get a null next hop (packets for them drop with
+    /// `NoRoute` rather than chasing a stale path).
     pub fn install_shortest_path_routes(&mut self) {
+        let up = self.link_up.clone();
+        let ok = move |l: LinkId| up[l.0 as usize];
         for n in 0..self.topo.node_count() {
             let src = NodeId(n as u32);
-            let paths = shortest_paths(&self.topo, src);
+            let paths = shortest_paths_filtered(&self.topo, src, &ok);
             for d in 0..self.topo.node_count() {
                 let dst = NodeId(d as u32);
                 let next_hop = if dst == src {
                     None
                 } else {
-                    match paths.get(&dst) {
-                        Some(&(_, link)) => link,
-                        None => continue, // unreachable: no entry
-                    }
+                    paths.get(&dst).and_then(|&(_, link)| link)
                 };
                 self.tables[n].install(
                     Self::node_prefix(dst),
@@ -191,6 +217,14 @@ impl Network {
         }
     }
 
+    /// Re-run plain-route installation over the surviving links. This
+    /// *replaces* each prefix entry, wiping stale compute overrides that
+    /// may point at failed sites — the controller re-applies its plan
+    /// after reconvergence (protection switching).
+    pub fn reconverge_routes(&mut self) {
+        self.install_shortest_path_routes();
+    }
+
     /// Install compute-detour overrides: packets still awaiting
     /// `primitive` are steered toward `via` (where a matching engine
     /// lives) at every node, for every destination prefix. At `via`
@@ -198,12 +232,14 @@ impl Network {
     /// plain routes. This is the §3 controller's job; the controller
     /// crate calls this.
     pub fn install_compute_detour(&mut self, primitive: Primitive, via: NodeId) {
+        let up = self.link_up.clone();
+        let ok = move |l: LinkId| up[l.0 as usize];
         for n in 0..self.topo.node_count() {
             let here = NodeId(n as u32);
             if here == via {
                 continue;
             }
-            let paths = shortest_paths(&self.topo, here);
+            let paths = shortest_paths_filtered(&self.topo, here, &ok);
             let Some(&(_, Some(first_link))) = paths.get(&via) else {
                 continue; // via unreachable from here
             };
@@ -237,6 +273,7 @@ impl Network {
             op_id,
             spec,
             noise_sigma: noise_sigma.max(0.0),
+            healthy: true,
             executions: 0,
             macs: 0,
             energy_j: 0.0,
@@ -257,6 +294,99 @@ impl Network {
     /// Inject a packet into the network at `node` at absolute `at_ps`.
     pub fn inject(&mut self, at_ps: u64, node: NodeId, packet: Packet) {
         self.events.schedule_at(at_ps, Ev::Inject { node, packet });
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the `ofpc-faults` crate drives these).
+    // ------------------------------------------------------------------
+
+    /// Whether a link currently carries light.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.0 as usize]
+    }
+
+    /// Links currently down (cut fibers).
+    pub fn down_links(&self) -> Vec<LinkId> {
+        (0..self.topo.link_count() as u32)
+            .map(LinkId)
+            .filter(|l| !self.link_up[l.0 as usize])
+            .collect()
+    }
+
+    /// Immediately cut (`up = false`) or restore a fiber. Cutting drains
+    /// both egress queues — those photons are lost, counted as
+    /// [`DropReason::LinkDown`]. Routes are *not* reconverged here;
+    /// detection and protection switching are the controller's job.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        let idx = link.0 as usize;
+        assert!(idx < self.topo.link_count(), "unknown link");
+        let was_up = self.link_up[idx];
+        self.link_up[idx] = up;
+        if up {
+            if !was_up {
+                for a_to_b in [true, false] {
+                    self.try_transmit(Self::dir_index(link, a_to_b));
+                }
+            }
+            return;
+        }
+        for a_to_b in [true, false] {
+            let dir = Self::dir_index(link, a_to_b);
+            while let Some(p) = self.dirs[dir].queue.pop() {
+                self.meta.remove(&p.id);
+                self.stats.record_drop(DropReason::LinkDown);
+            }
+        }
+    }
+
+    /// Schedule a fiber cut at absolute `at_ps`.
+    pub fn schedule_link_down(&mut self, at_ps: u64, link: LinkId) {
+        self.events
+            .schedule_at(at_ps, Ev::LinkState { link, up: false });
+    }
+
+    /// Schedule a fiber repair at absolute `at_ps`.
+    pub fn schedule_link_up(&mut self, at_ps: u64, link: LinkId) {
+        self.events
+            .schedule_at(at_ps, Ev::LinkState { link, up: true });
+    }
+
+    /// Immediately set the health of every engine slot at `node`.
+    pub fn set_engine_health(&mut self, node: NodeId, healthy: bool) {
+        if let Some(slots) = self.engines.get_mut(&node) {
+            for s in slots {
+                s.healthy = healthy;
+            }
+        }
+    }
+
+    /// Schedule an engine hard-fail (`healthy = false`) or repair.
+    pub fn schedule_engine_health(&mut self, at_ps: u64, node: NodeId, healthy: bool) {
+        self.events
+            .schedule_at(at_ps, Ev::EngineHealth { node, healthy });
+    }
+
+    /// Immediately set the effective analog noise sigma of every engine
+    /// slot at `node` (drift models feed their current value here).
+    pub fn set_engine_noise(&mut self, node: NodeId, sigma: f64) {
+        if let Some(slots) = self.engines.get_mut(&node) {
+            for s in slots {
+                s.noise_sigma = sigma.max(0.0);
+            }
+        }
+    }
+
+    /// Schedule a drift step: at `at_ps` the engines at `node` run with
+    /// `sigma` effective noise.
+    pub fn schedule_engine_noise(&mut self, at_ps: u64, node: NodeId, sigma: f64) {
+        self.events
+            .schedule_at(at_ps, Ev::EngineNoise { node, sigma });
+    }
+
+    /// Packets currently inside the simulator (injected, neither
+    /// delivered nor dropped) — the in-flight term of conservation.
+    pub fn in_flight_count(&self) -> usize {
+        self.meta.len()
     }
 
     /// Current simulation time.
@@ -321,10 +451,18 @@ impl Network {
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Inject { node, packet } => {
+                self.stats.injected += 1;
                 self.meta.insert(packet.id, (self.events.now_ps(), 0));
                 self.handle_at_node(node, packet);
             }
-            Ev::Arrive { node, packet } => {
+            Ev::Arrive { node, packet, via } => {
+                // A cut mid-propagation loses the light: the packet never
+                // makes it to the far end.
+                if !self.link_up[via.0 as usize] {
+                    self.meta.remove(&packet.id);
+                    self.stats.record_drop(DropReason::LinkDown);
+                    return;
+                }
                 if let Some(m) = self.meta.get_mut(&packet.id) {
                     m.1 += 1;
                 }
@@ -336,6 +474,15 @@ impl Network {
             Ev::TxDone { dir } => {
                 self.dirs[dir].busy = false;
                 self.try_transmit(dir);
+            }
+            Ev::LinkState { link, up } => {
+                self.set_link_up(link, up);
+            }
+            Ev::EngineHealth { node, healthy } => {
+                self.set_engine_health(node, healthy);
+            }
+            Ev::EngineNoise { node, sigma } => {
+                self.set_engine_noise(node, sigma);
             }
         }
     }
@@ -375,9 +522,21 @@ impl Network {
         let pch = packet.pch.as_ref()?;
         let op_id = pch.op_id;
         let slots = self.engines.get_mut(&node)?;
-        let slot = slots
-            .iter_mut()
-            .find(|s| s.op_id == op_id && s.spec.primitive() == pending)?;
+        let idx = slots
+            .iter()
+            .position(|s| s.op_id == op_id && s.spec.primitive() == pending)?;
+        if !slots[idx].healthy {
+            // A matching engine exists but its watchdog tripped: skip the
+            // op and tag the header so the receiver can tell this from a
+            // valid analog result.
+            packet
+                .pch
+                .as_mut()
+                .expect("checked above")
+                .set_status(ResultStatus::EngineUnhealthy);
+            return None;
+        }
+        let slot = &mut slots[idx];
         let operands = packet.operands();
         let n = operands.len();
         let noise = if slot.noise_sigma > 0.0 {
@@ -466,12 +625,16 @@ impl Network {
                 delivered_ps: self.events.now_ps(),
                 hops,
                 computed: packet.pch.map(|p| p.is_computed()).unwrap_or(false),
+                status: packet
+                    .pch
+                    .map(|p| p.status())
+                    .unwrap_or(crate::pch::ResultStatus::Ok),
                 wire_bytes: packet.wire_bytes(),
             });
             return;
         }
         if !packet.decrement_ttl() {
-            self.stats.drops_ttl += 1;
+            self.stats.record_drop(DropReason::TtlExpired);
             self.meta.remove(&packet.id);
             return;
         }
@@ -479,18 +642,28 @@ impl Network {
         let Some(link) = self.tables[node.0 as usize]
             .lookup_op(packet.dst, pending.map(|(p, op)| (p, Some(op))))
         else {
-            self.stats.drops_no_route += 1;
+            self.stats.record_drop(DropReason::NoRoute);
             self.meta.remove(&packet.id);
             return;
         };
+        if !self.link_up[link.0 as usize] {
+            // Loss of light: the route still points at a cut fiber
+            // (detection + protection switching have not reconverged it
+            // yet).
+            self.stats.record_drop(DropReason::LinkDown);
+            self.meta.remove(&packet.id);
+            return;
+        }
         let a_to_b = self.topo.link(link).a == node;
         debug_assert!(
             a_to_b || self.topo.link(link).b == node,
             "routing table points at a non-incident link"
         );
         let dir = Self::dir_index(link, a_to_b);
+        let packet_id = packet.id;
         if !self.dirs[dir].queue.push(packet) {
-            self.stats.drops_queue += 1;
+            self.stats.record_drop(DropReason::QueueFull);
+            self.meta.remove(&packet_id);
             return;
         }
         self.try_transmit(dir);
@@ -500,11 +673,14 @@ impl Network {
         if self.dirs[dir].busy {
             return;
         }
+        let link = LinkId((dir / 2) as u32);
+        if !self.link_up[link.0 as usize] {
+            return;
+        }
         let Some(packet) = self.dirs[dir].queue.pop() else {
             return;
         };
         self.dirs[dir].busy = true;
-        let link = LinkId((dir / 2) as u32);
         let a_to_b = dir.is_multiple_of(2);
         let l = self.topo.link(link);
         let target = if a_to_b { l.b } else { l.a };
@@ -516,6 +692,7 @@ impl Network {
             Ev::Arrive {
                 node: target,
                 packet,
+                via: link,
             },
         );
     }
@@ -782,6 +959,9 @@ mod tests {
             net.stats.delivered_count() as u64 + net.stats.drops_queue,
             5
         );
+        // Conservation survives queue drops (no meta-map leak).
+        assert_eq!(net.in_flight_count(), 0);
+        assert!(net.stats.conservation_holds(0));
     }
 
     #[test]
@@ -849,6 +1029,170 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fiber_cut_loses_light_and_conserves_packets() {
+        let mut net = fig1_net();
+        let (a, d) = a_d(&net);
+        let b = net.topo.find_node("B").unwrap();
+        let ab = net
+            .topo
+            .neighbors(a)
+            .into_iter()
+            .find(|&(_, n)| n == b)
+            .map(|(l, _)| l)
+            .unwrap();
+        // Steady stream A→D; shortest path may use A–B. Cut A–B mid-run.
+        for id in 0..40 {
+            let p = Packet::data(
+                Network::node_addr(a, 1),
+                Network::node_addr(d, 1),
+                id,
+                vec![0u8; 1_000],
+            );
+            net.inject(id as u64 * 100_000, a, p);
+        }
+        net.schedule_link_down(1_500_000, ab);
+        net.run_to_idle();
+        assert!(!net.link_is_up(ab));
+        assert_eq!(net.down_links(), vec![ab]);
+        // If the default path used A–B, packets after the cut are lost to
+        // loss-of-light; either way nothing leaks.
+        assert_eq!(net.in_flight_count(), 0);
+        assert!(
+            net.stats.conservation_holds(0),
+            "injected {} delivered {} drops {}",
+            net.stats.injected,
+            net.stats.delivered_count(),
+            net.stats.total_drops()
+        );
+        if net.stats.drops_link_down > 0 {
+            assert!(net.stats.delivered_count() < 40);
+        }
+    }
+
+    #[test]
+    fn reconvergence_restores_delivery_after_cut() {
+        let mut net = fig1_net();
+        let (a, d) = a_d(&net);
+        let b = net.topo.find_node("B").unwrap();
+        // Cut every link incident to B, reconverge, and traffic A→D
+        // must flow via C.
+        let b_links: Vec<LinkId> = net.topo.neighbors(b).into_iter().map(|(l, _)| l).collect();
+        for l in &b_links {
+            net.set_link_up(*l, false);
+        }
+        net.reconverge_routes();
+        let p = Packet::data(
+            Network::node_addr(a, 1),
+            Network::node_addr(d, 1),
+            1,
+            vec![0u8; 100],
+        );
+        net.inject(0, a, p);
+        net.run_to_idle();
+        assert_eq!(net.stats.delivered_count(), 1, "{:?}", net.stats);
+        assert_eq!(net.stats.delivered[0].hops, 2); // A → C → D
+        assert!(net.stats.conservation_holds(0));
+    }
+
+    #[test]
+    fn unhealthy_engine_skips_and_tags_packets() {
+        use crate::pch::ResultStatus;
+        let mut net = fig1_net();
+        let (a, d) = a_d(&net);
+        let b = net.topo.find_node("B").unwrap();
+        net.add_engine(b, 1, OpSpec::Dot { weights: vec![1.0] }, 0.0);
+        net.install_compute_detour(Primitive::VectorDotProduct, b);
+        net.set_engine_health(b, false);
+        let pch = PchHeader::request(Primitive::VectorDotProduct, 1, 1);
+        let p = Packet::compute(
+            Network::node_addr(a, 1),
+            Network::node_addr(d, 1),
+            1,
+            pch,
+            Packet::encode_operands(&[1.0]),
+        );
+        net.inject(0, a, p);
+        net.run_to_idle();
+        assert_eq!(net.stats.delivered_count(), 1);
+        let rec = &net.stats.delivered[0];
+        assert!(!rec.computed, "unhealthy engine must not execute");
+        assert_eq!(rec.status, ResultStatus::EngineUnhealthy);
+        assert_eq!(net.engines_at(b)[0].executions, 0);
+        // Repair and retry: healthy engine computes and clears nothing —
+        // a fresh request carries Ok status.
+        net.schedule_engine_health(net.now_ps() + 1, b, true);
+        let pch = PchHeader::request(Primitive::VectorDotProduct, 1, 1);
+        let p = Packet::compute(
+            Network::node_addr(a, 1),
+            Network::node_addr(d, 1),
+            2,
+            pch,
+            Packet::encode_operands(&[1.0]),
+        );
+        let at = net.now_ps() + 2;
+        net.inject(at, a, p);
+        net.run_to_idle();
+        assert_eq!(net.stats.delivered_count(), 2);
+        let rec = &net.stats.delivered[1];
+        assert!(rec.computed);
+        assert_eq!(rec.status, ResultStatus::Ok);
+    }
+
+    #[test]
+    fn scheduled_noise_drift_raises_engine_sigma() {
+        let mut net = fig1_net();
+        let b = net.topo.find_node("B").unwrap();
+        net.add_engine(b, 1, OpSpec::Nonlinear, 0.0);
+        // Three drift steps, as a ramp sampler would schedule them.
+        net.schedule_engine_noise(10, b, 0.01);
+        net.schedule_engine_noise(20, b, 0.05);
+        net.schedule_engine_noise(30, b, 0.2);
+        net.run_to_idle();
+        assert!((net.engines_at(b)[0].noise_sigma - 0.2).abs() < 1e-12);
+        // Negative sigma is clamped.
+        net.set_engine_noise(b, -1.0);
+        assert_eq!(net.engines_at(b)[0].noise_sigma, 0.0);
+    }
+
+    #[test]
+    fn link_flap_drains_queue_and_recovers() {
+        let mut net = fig1_net();
+        let (a, d) = a_d(&net);
+        let first_hop = {
+            let pending = None;
+            net.routing_table(a)
+                .lookup(Network::node_addr(d, 1), pending)
+                .unwrap()
+        };
+        // Burst so the egress queue holds packets, then cut: queued
+        // packets are lost as LinkDown, and after repair traffic flows.
+        for id in 0..10 {
+            let p = Packet::data(
+                Network::node_addr(a, 1),
+                Network::node_addr(d, 1),
+                id,
+                vec![0u8; 10_000],
+            );
+            net.inject(0, a, p);
+        }
+        net.schedule_link_down(100, first_hop);
+        net.schedule_link_up(60_000_000, first_hop);
+        let p = Packet::data(
+            Network::node_addr(a, 1),
+            Network::node_addr(d, 1),
+            99,
+            vec![0u8; 100],
+        );
+        net.inject(70_000_000, a, p);
+        net.run_to_idle();
+        assert!(net.stats.drops_link_down > 0, "{:?}", net.stats);
+        // The post-repair packet made it.
+        assert!(net.stats.delivered.iter().any(|r| r.packet_id == 99));
+        assert!(net.stats.conservation_holds(net.in_flight_count()));
+        assert_eq!(net.in_flight_count(), 0);
     }
 
     #[test]

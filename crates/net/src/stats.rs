@@ -4,6 +4,7 @@
 //! tiny histogram type the experiment harnesses print. All pure data —
 //! the simulator feeds records in, experiments read summaries out.
 
+use crate::pch::ResultStatus;
 use serde::{Deserialize, Serialize};
 
 /// One delivered packet's record.
@@ -15,6 +16,10 @@ pub struct DeliveryRecord {
     pub hops: u32,
     /// Whether a photonic engine executed this packet's operation.
     pub computed: bool,
+    /// Result status from the PCH flags (`Ok` for plain traffic) — lets
+    /// the receiver tell a skipped-by-unhealthy-engine pass-through from
+    /// a valid result.
+    pub status: ResultStatus,
     pub wire_bytes: usize,
 }
 
@@ -28,18 +33,75 @@ impl DeliveryRecord {
     }
 }
 
+/// Why the simulator dropped a packet. Every drop is attributed to
+/// exactly one reason so packet conservation
+/// (`injected = delivered + dropped + in-flight`) is checkable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Egress queue was full (drop-tail).
+    QueueFull,
+    /// TTL reached zero (routing loop or path too long).
+    TtlExpired,
+    /// No forwarding entry (or a null next hop) for the destination.
+    NoRoute,
+    /// The packet hit a downed link — loss of light on a cut fiber.
+    LinkDown,
+}
+
+impl DropReason {
+    pub const ALL: [DropReason; 4] = [
+        DropReason::QueueFull,
+        DropReason::TtlExpired,
+        DropReason::NoRoute,
+        DropReason::LinkDown,
+    ];
+}
+
 /// Collected simulation statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatsCollector {
     pub delivered: Vec<DeliveryRecord>,
+    /// Packets handed to the simulator via `inject` (the conservation
+    /// baseline).
+    pub injected: u64,
     pub drops_queue: u64,
     pub drops_ttl: u64,
     pub drops_no_route: u64,
+    /// Packets lost to a cut fiber (queued on, in flight over, or routed
+    /// at a downed link).
+    pub drops_link_down: u64,
 }
 
 impl StatsCollector {
     pub fn new() -> Self {
         StatsCollector::default()
+    }
+
+    /// Attribute one drop to `reason`.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::QueueFull => self.drops_queue += 1,
+            DropReason::TtlExpired => self.drops_ttl += 1,
+            DropReason::NoRoute => self.drops_no_route += 1,
+            DropReason::LinkDown => self.drops_link_down += 1,
+        }
+    }
+
+    /// Drop count for one reason.
+    pub fn drop_count(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::QueueFull => self.drops_queue,
+            DropReason::TtlExpired => self.drops_ttl,
+            DropReason::NoRoute => self.drops_no_route,
+            DropReason::LinkDown => self.drops_link_down,
+        }
+    }
+
+    /// Packet conservation: every injected packet is delivered, dropped
+    /// (with a reason), or still in flight. `in_flight` comes from the
+    /// simulator's live bookkeeping.
+    pub fn conservation_holds(&self, in_flight: usize) -> bool {
+        self.injected == self.delivered.len() as u64 + self.total_drops() + in_flight as u64
     }
 
     pub fn record_delivery(&mut self, record: DeliveryRecord) {
@@ -86,7 +148,7 @@ impl StatsCollector {
     }
 
     pub fn total_drops(&self) -> u64 {
-        self.drops_queue + self.drops_ttl + self.drops_no_route
+        self.drops_queue + self.drops_ttl + self.drops_no_route + self.drops_link_down
     }
 }
 
@@ -133,6 +195,7 @@ mod tests {
             delivered_ps: delivered,
             hops: 2,
             computed: id.is_multiple_of(2),
+            status: ResultStatus::Ok,
             wire_bytes: 100,
         }
     }
@@ -180,6 +243,25 @@ mod tests {
         assert_eq!(c.mean_latency_ms(), None);
         assert_eq!(c.latency_percentile_ms(0.5), None);
         assert_eq!(c.goodput_bps(), 0.0);
+    }
+
+    #[test]
+    fn drop_reasons_are_attributed_and_conserved() {
+        let mut c = StatsCollector::new();
+        c.injected = 7;
+        c.record_delivery(rec(0, 0, 10));
+        c.record_delivery(rec(1, 0, 20));
+        c.record_drop(DropReason::QueueFull);
+        c.record_drop(DropReason::TtlExpired);
+        c.record_drop(DropReason::NoRoute);
+        c.record_drop(DropReason::LinkDown);
+        for r in DropReason::ALL {
+            assert_eq!(c.drop_count(r), 1, "{r:?}");
+        }
+        assert_eq!(c.total_drops(), 4);
+        // 7 injected = 2 delivered + 4 dropped + 1 in flight.
+        assert!(c.conservation_holds(1));
+        assert!(!c.conservation_holds(0));
     }
 
     #[test]

@@ -41,5 +41,5 @@ pub use arrivals::{ArrivalProcess, ArrivalSpec, PS_PER_SEC};
 pub use batcher::{Batch, BatchPolicy, Batcher};
 pub use metrics::{MetricsSink, ServeReport, TenantReport};
 pub use request::{BatchClass, ComputeRequest, Outcome, RequestId, ShedReason, TenantId};
-pub use runtime::{ServeConfig, ServeRuntime, TenantSpec};
+pub use runtime::{EngineFaultEvent, RetryPolicy, ServeConfig, ServeRuntime, TenantSpec};
 pub use scheduler::{Dispatch, Scheduler, ServiceModel, SiteSpec};

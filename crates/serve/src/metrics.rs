@@ -19,8 +19,14 @@ pub struct TenantCollector {
     pub shed_queue_full: u64,
     pub shed_expired_queued: u64,
     pub shed_expired_serving: u64,
+    pub shed_engine_failed: u64,
+    /// Requests answered by the digital fallback (correct, degraded).
+    pub degraded: u64,
+    pub degraded_energy_j: f64,
     /// Completed-request latencies, ps (exact, sorted at report time).
     latencies_ps: Vec<u64>,
+    /// Degraded (digital-fallback) latencies, ps.
+    degraded_latencies_ps: Vec<u64>,
     pub energy_j: f64,
     batch_size_sum: u64,
 }
@@ -42,12 +48,24 @@ impl TenantCollector {
                 ShedReason::QueueFull => self.shed_queue_full += 1,
                 ShedReason::DeadlineExpiredQueued => self.shed_expired_queued += 1,
                 ShedReason::DeadlineExpiredServing => self.shed_expired_serving += 1,
+                ShedReason::EngineFailed => self.shed_engine_failed += 1,
             },
+            Outcome::DegradedDigital {
+                latency_ps,
+                energy_j,
+            } => {
+                self.degraded += 1;
+                self.degraded_latencies_ps.push(latency_ps);
+                self.degraded_energy_j += energy_j;
+            }
         }
     }
 
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_expired_queued + self.shed_expired_serving
+        self.shed_queue_full
+            + self.shed_expired_queued
+            + self.shed_expired_serving
+            + self.shed_engine_failed
     }
 }
 
@@ -114,6 +132,10 @@ impl MetricsSink {
         self.tenants.iter().map(TenantCollector::shed_total).sum()
     }
 
+    pub fn degraded_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.degraded).sum()
+    }
+
     /// Build the final report. `unfinished` are requests still queued or
     /// in flight at the horizon; they must make conservation hold.
     pub fn report(&self, duration_s: f64, unfinished: u64, max_batch: usize) -> ServeReport {
@@ -128,6 +150,9 @@ impl MetricsSink {
                 shed_queue_full: t.shed_queue_full,
                 shed_expired_queued: t.shed_expired_queued,
                 shed_expired_serving: t.shed_expired_serving,
+                shed_engine_failed: t.shed_engine_failed,
+                degraded: t.degraded,
+                degraded_energy_j: t.degraded_energy_j,
                 goodput_rps: t.completed as f64 / duration_s,
                 p50_latency_us: percentile_ps(&lat, 0.50).map(|v| v as f64 / 1e6),
                 p99_latency_us: percentile_ps(&lat, 0.99).map(|v| v as f64 / 1e6),
@@ -148,9 +173,10 @@ impl MetricsSink {
         let arrivals = self.arrivals_total();
         let completed = self.completed_total();
         let shed = self.shed_total();
+        let degraded = self.degraded_total();
         debug_assert_eq!(
             arrivals,
-            completed + shed + unfinished,
+            completed + shed + degraded + unfinished,
             "request conservation violated"
         );
         let mut all_lat: Vec<u64> = self
@@ -166,11 +192,18 @@ impl MetricsSink {
                 / (self.batch_sizes.len() * max_batch) as f64
         };
         let energy_total: f64 = self.energy_stages.values().sum();
+        let mut degraded_lat: Vec<u64> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.degraded_latencies_ps.iter().copied())
+            .collect();
+        degraded_lat.sort_unstable();
         ServeReport {
             duration_s,
             arrivals,
             completed,
             shed,
+            degraded,
             unfinished,
             offered_rps: arrivals as f64 / duration_s,
             goodput_rps: completed as f64 / duration_s,
@@ -179,6 +212,13 @@ impl MetricsSink {
             } else {
                 0.0
             },
+            degraded_rate: if arrivals > 0 {
+                degraded as f64 / arrivals as f64
+            } else {
+                0.0
+            },
+            degraded_p99_latency_us: percentile_ps(&degraded_lat, 0.99).map(|v| v as f64 / 1e6),
+            degraded_energy_j: self.tenants.iter().map(|t| t.degraded_energy_j).sum(),
             p50_latency_us: percentile_ps(&all_lat, 0.50).map(|v| v as f64 / 1e6),
             p99_latency_us: percentile_ps(&all_lat, 0.99).map(|v| v as f64 / 1e6),
             p999_latency_us: percentile_ps(&all_lat, 0.999).map(|v| v as f64 / 1e6),
@@ -211,6 +251,9 @@ pub struct TenantReport {
     pub shed_queue_full: u64,
     pub shed_expired_queued: u64,
     pub shed_expired_serving: u64,
+    pub shed_engine_failed: u64,
+    pub degraded: u64,
+    pub degraded_energy_j: f64,
     pub goodput_rps: f64,
     pub p50_latency_us: Option<f64>,
     pub p99_latency_us: Option<f64>,
@@ -227,10 +270,15 @@ pub struct ServeReport {
     pub arrivals: u64,
     pub completed: u64,
     pub shed: u64,
+    /// Requests answered correctly by the digital fallback.
+    pub degraded: u64,
     pub unfinished: u64,
     pub offered_rps: f64,
     pub goodput_rps: f64,
     pub shed_rate: f64,
+    pub degraded_rate: f64,
+    pub degraded_p99_latency_us: Option<f64>,
+    pub degraded_energy_j: f64,
     pub p50_latency_us: Option<f64>,
     pub p99_latency_us: Option<f64>,
     pub p999_latency_us: Option<f64>,

@@ -85,6 +85,9 @@ pub enum ShedReason {
     /// The request was scheduled, but service would (or did) finish past
     /// the deadline.
     DeadlineExpiredServing,
+    /// The engine serving the request hard-failed, retries onto
+    /// survivors were exhausted, and no digital fallback was configured.
+    EngineFailed,
 }
 
 /// Terminal state of a request.
@@ -101,6 +104,15 @@ pub enum Outcome {
     },
     /// Refused or abandoned; the reason is always reported upstream.
     Shed { reason: ShedReason },
+    /// Photonic capacity was exhausted (engine faults), so the request
+    /// was answered by the digital baseline instead: the result is
+    /// correct, but latency and energy are worse than the photonic path.
+    DegradedDigital {
+        /// End-to-end latency including the digital compute time, ps.
+        latency_ps: u64,
+        /// Digital compute energy attributed to this request, joules.
+        energy_j: f64,
+    },
 }
 
 impl Outcome {

@@ -19,8 +19,9 @@ use crate::admission::AdmissionControl;
 use crate::arrivals::{ArrivalProcess, ArrivalSpec};
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::metrics::{MetricsSink, ServeReport};
-use crate::request::{ComputeRequest, Outcome, RequestId, TenantId};
+use crate::request::{ComputeRequest, Outcome, RequestId, ShedReason, TenantId};
 use crate::scheduler::{Scheduler, ServiceModel, SiteSpec};
+use ofpc_apps::digital::ComputeModel;
 use ofpc_core::OnFiberNetwork;
 use ofpc_engine::dot::{DotProductUnit, DotUnitConfig};
 use ofpc_engine::Primitive;
@@ -30,7 +31,7 @@ use ofpc_photonics::SimRng;
 use ofpc_transponder::compute::ComputeTransponderConfig;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One tenant's serving contract.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,12 +74,86 @@ impl ServeConfig {
     }
 }
 
+/// One scheduled engine-site fault transition for a serving run
+/// (injected via [`ServeRuntime::with_engine_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineFaultEvent {
+    pub at_ps: u64,
+    pub node: NodeId,
+    /// `false` hard-fails every slot at the site; `true` repairs it.
+    pub up: bool,
+}
+
+/// Capped exponential backoff for requests displaced by engine faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// First-retry backoff, ps.
+    pub base_ps: u64,
+    /// Backoff ceiling, ps.
+    pub max_backoff_ps: u64,
+    /// Retries before the request falls back (or sheds).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ps: 10_000_000,           // 10 µs
+            max_backoff_ps: 1_000_000_000, // 1 ms
+            max_retries: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based), ps.
+    pub fn backoff_ps(&self, attempt: u32) -> u64 {
+        self.base_ps
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff_ps)
+    }
+}
+
+/// A dispatched batch whose results have not reached the requesters yet.
+/// Completion is only recorded at delivery time, so an engine fault in
+/// `(dispatch, done)` can still abort it.
+#[derive(Debug, Clone)]
+struct PendingBatch {
+    node: NodeId,
+    /// When the slot finishes computing (site-local), ps. A fault before
+    /// this loses the batch; after it, the results are light in the
+    /// fiber and survive.
+    done_ps: u64,
+    delivered_ps: u64,
+    batch_size: u32,
+    per_request_j: f64,
+    requests: Vec<ComputeRequest>,
+}
+
 /// Event kinds, ordered deterministically via (time, seq).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
-    Arrival { tenant: u32 },
+    Arrival {
+        tenant: u32,
+    },
     BatchDue,
-    SlotFree { node: NodeId, slot: usize },
+    SlotFree {
+        node: NodeId,
+        slot: usize,
+    },
+    /// Engine site hard-fail / repair (the injected fault plan).
+    SiteFault {
+        node: NodeId,
+        up: bool,
+    },
+    /// Results of pending batch `key` reach the requesters.
+    Deliver {
+        key: u64,
+    },
+    /// Backoff expired for parked request `key`; try again.
+    Retry {
+        key: u64,
+    },
 }
 
 /// The assembled serving runtime.
@@ -95,6 +170,19 @@ pub struct ServeRuntime {
     now_ps: u64,
     /// Real photonic engine for sampled cross-checks.
     verify_unit: DotProductUnit,
+    /// Backoff policy for fault-displaced requests.
+    retry: RetryPolicy,
+    /// Digital baseline that absorbs requests when photonic capacity is
+    /// exhausted; `None` sheds them as `EngineFailed` instead.
+    fallback: Option<ComputeModel>,
+    /// Dispatched batches awaiting delivery, keyed by dispatch id.
+    in_service: BTreeMap<u64, PendingBatch>,
+    next_pending: u64,
+    /// Requests parked on a retry backoff, keyed by park id.
+    parked: BTreeMap<u64, ComputeRequest>,
+    next_parked: u64,
+    /// Retry attempts consumed per displaced request.
+    attempts: BTreeMap<RequestId, u32>,
 }
 
 impl ServeRuntime {
@@ -131,6 +219,13 @@ impl ServeRuntime {
             next_request_id: 0,
             now_ps: 0,
             verify_unit,
+            retry: RetryPolicy::default(),
+            fallback: None,
+            in_service: BTreeMap::new(),
+            next_pending: 0,
+            parked: BTreeMap::new(),
+            next_parked: 0,
+            attempts: BTreeMap::new(),
             config,
         };
         // Seed the first arrival of every tenant.
@@ -174,6 +269,36 @@ impl ServeRuntime {
         ServeRuntime::new(config, model, sites)
     }
 
+    /// Inject a schedule of engine-site hard-fails and repairs. The plan
+    /// is part of the run's identity: same seed + same faults ⇒
+    /// byte-identical report.
+    pub fn with_engine_faults(mut self, faults: &[EngineFaultEvent]) -> Self {
+        for f in faults {
+            self.push_event(
+                f.at_ps,
+                Event::SiteFault {
+                    node: f.node,
+                    up: f.up,
+                },
+            );
+        }
+        self
+    }
+
+    /// Override the fault-retry backoff policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enable graceful degradation: when photonic capacity is exhausted
+    /// by faults, requests are answered by this digital baseline —
+    /// correct results at worse latency and energy — instead of shedding.
+    pub fn with_digital_fallback(mut self, model: ComputeModel) -> Self {
+        self.fallback = Some(model);
+        self
+    }
+
     fn push_event(&mut self, t_ps: u64, ev: Event) {
         self.seq += 1;
         self.events.push(Reverse((t_ps, self.seq, ev)));
@@ -207,6 +332,13 @@ impl ServeRuntime {
     /// changes at the current instant.
     fn run_pipeline(&mut self) {
         let now = self.now_ps;
+        // Every photonic slot hard-failed: with a fallback configured,
+        // divert queued work to the digital baseline instead of letting
+        // it expire in queues it can never leave.
+        if self.fallback.is_some() && self.scheduler.healthy_slots() == 0 {
+            self.divert_all_to_fallback(now);
+            return;
+        }
         self.admission.expire_stale(now);
 
         // Keep the downstream (open batches + closed backlog) bounded so
@@ -252,19 +384,26 @@ impl ServeRuntime {
             );
             let n = d.batch.len() as u32;
             let per_request_j = d.energy.total_j() / f64::from(n);
+            // Stage energy is burned at dispatch whether or not the batch
+            // survives to delivery; per-request completion is recorded at
+            // delivery time so an engine fault mid-service can abort it.
             for (stage, j) in d.energy.iter() {
                 self.metrics.add_stage_energy(stage, j);
             }
-            for req in &d.batch.requests {
-                self.metrics.on_outcome(
-                    req.tenant,
-                    &Outcome::Completed {
-                        latency_ps: d.delivered_ps - req.arrival_ps,
-                        batch_size: n,
-                        energy_j: per_request_j,
-                    },
-                );
-            }
+            let key = self.next_pending;
+            self.next_pending += 1;
+            self.in_service.insert(
+                key,
+                PendingBatch {
+                    node: d.node,
+                    done_ps: d.done_ps,
+                    delivered_ps: d.delivered_ps,
+                    batch_size: n,
+                    per_request_j,
+                    requests: d.batch.requests.clone(),
+                },
+            );
+            self.push_event(d.delivered_ps, Event::Deliver { key });
             // Sampled ground-truth pass through the real photonic engine.
             if self.config.verify_every > 0
                 && self
@@ -293,12 +432,156 @@ impl ServeRuntime {
         }
     }
 
+    /// Results of pending batch `key` reach the requesters: record the
+    /// completions. Aborted batches were already removed from the table,
+    /// so their stale delivery events are no-ops.
+    fn handle_deliver(&mut self, key: u64) {
+        let Some(p) = self.in_service.remove(&key) else {
+            return;
+        };
+        for req in &p.requests {
+            self.attempts.remove(&req.id);
+            self.metrics.on_outcome(
+                req.tenant,
+                &Outcome::Completed {
+                    latency_ps: p.delivered_ps - req.arrival_ps,
+                    batch_size: p.batch_size,
+                    energy_j: p.per_request_j,
+                },
+            );
+        }
+    }
+
+    /// An injected engine fault transition fires.
+    fn handle_site_fault(&mut self, node: NodeId, up: bool) {
+        if up {
+            self.scheduler.recover_site(node);
+            return;
+        }
+        self.scheduler.fail_site(node);
+        // Batches the site was still computing are lost; results already
+        // past `done_ps` are light in the fiber and survive.
+        let lost: Vec<u64> = self
+            .in_service
+            .iter()
+            .filter(|(_, p)| p.node == node && p.done_ps > self.now_ps)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in lost {
+            let p = self.in_service.remove(&key).expect("just listed");
+            for req in p.requests {
+                self.requeue_or_fallback(req);
+            }
+        }
+    }
+
+    /// A parked request's backoff expired.
+    fn handle_retry(&mut self, key: u64) {
+        let Some(req) = self.parked.remove(&key) else {
+            return;
+        };
+        if self.scheduler.healthy_slots() == 0
+            || (self.fallback.is_some() && req.expired(self.now_ps))
+        {
+            self.attempts.remove(&req.id);
+            self.finish_degraded(req);
+        } else {
+            // Back through admission: the retry competes fairly with new
+            // arrivals for the surviving slots (no second arrival count —
+            // the request was counted once).
+            self.admission.offer(req);
+        }
+    }
+
+    /// Route a fault-displaced request: park it for a capped-exponential
+    /// backoff retry while budget remains and survivors exist, else hand
+    /// it to the terminal degraded/shed path.
+    fn requeue_or_fallback(&mut self, req: ComputeRequest) {
+        let attempt = {
+            let a = self.attempts.entry(req.id).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if attempt > self.retry.max_retries || self.scheduler.healthy_slots() == 0 {
+            self.attempts.remove(&req.id);
+            self.finish_degraded(req);
+            return;
+        }
+        let at = self.now_ps + self.retry.backoff_ps(attempt - 1);
+        let key = self.next_parked;
+        self.next_parked += 1;
+        self.parked.insert(key, req);
+        self.push_event(at, Event::Retry { key });
+    }
+
+    /// Terminal path for a request photonics cannot serve: the digital
+    /// baseline computes it (correct answer, worse latency and energy),
+    /// or — with no fallback configured — it sheds as `EngineFailed`.
+    fn finish_degraded(&mut self, req: ComputeRequest) {
+        match &self.fallback {
+            Some(model) => {
+                let macs = u64::from(req.operand_len);
+                let compute_ps = (model.time_for_macs(macs) * 1e12) as u64;
+                let energy_j = model.energy_for_macs(macs);
+                self.metrics.add_stage_energy("digital-fallback", energy_j);
+                self.metrics.on_outcome(
+                    req.tenant,
+                    &Outcome::DegradedDigital {
+                        latency_ps: self.now_ps + compute_ps - req.arrival_ps,
+                        energy_j,
+                    },
+                );
+            }
+            None => {
+                self.metrics.on_outcome(
+                    req.tenant,
+                    &Outcome::Shed {
+                        reason: ShedReason::EngineFailed,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Photonic capacity is gone: push everything queued anywhere to the
+    /// digital fallback (deadlines included — a correct late answer beats
+    /// a shed).
+    fn divert_all_to_fallback(&mut self, now: u64) {
+        let queued = self.admission.queued();
+        for req in self.admission.drain_fair(queued, now) {
+            self.finish_degraded(req);
+        }
+        self.batcher.flush_all(now);
+        for batch in self.batcher.take_closed() {
+            for req in batch.requests {
+                self.finish_degraded(req);
+            }
+        }
+        for batch in self.scheduler.drain_ready() {
+            for req in batch.requests {
+                self.finish_degraded(req);
+            }
+        }
+        // QueueFull sheds recorded at offer time still surface.
+        for (req, reason) in self.admission.take_shed() {
+            self.metrics
+                .on_outcome(req.tenant, &Outcome::Shed { reason });
+        }
+    }
+
     /// Run to completion and produce the final report.
     pub fn run(mut self) -> ServeReport {
         let end_ps = self.config.horizon_ps + self.config.drain_grace_ps;
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
             if t > end_ps {
-                break;
+                // Past the drain window no new work starts, but results
+                // already dispatched are light in the fiber — their
+                // deliveries still count.
+                if let Event::Deliver { key } = ev {
+                    self.now_ps = t;
+                    self.handle_deliver(key);
+                }
+                continue;
             }
             self.now_ps = t;
             match ev {
@@ -307,12 +590,17 @@ impl ServeRuntime {
                 Event::SlotFree { node, slot } => {
                     self.scheduler.release(node, slot, t);
                 }
+                Event::SiteFault { node, up } => self.handle_site_fault(node, up),
+                Event::Deliver { key } => self.handle_deliver(key),
+                Event::Retry { key } => self.handle_retry(key),
             }
             self.run_pipeline();
         }
+        debug_assert!(self.in_service.is_empty(), "all dispatches delivered");
         let unfinished = (self.admission.queued()
             + self.batcher.open_len()
-            + self.scheduler.backlog_requests()) as u64;
+            + self.scheduler.backlog_requests()
+            + self.parked.len()) as u64;
         let duration_s = self.config.horizon_ps as f64 / 1e12;
         self.metrics
             .report(duration_s, unfinished, self.config.batch.max_batch)
@@ -412,6 +700,108 @@ mod tests {
         assert_eq!(rt.scheduler.total_slots(), 3);
         let report = rt.run();
         assert!(report.completed > 0);
+    }
+
+    // A fault plan that takes the only site down mid-run and never
+    // repairs it.
+    fn outage(at_ps: u64) -> Vec<EngineFaultEvent> {
+        vec![EngineFaultEvent {
+            at_ps,
+            node: NodeId(1),
+            up: false,
+        }]
+    }
+
+    #[test]
+    fn engine_fault_without_fallback_sheds_displaced_work() {
+        let report = runtime(small_config(500_000.0))
+            .with_engine_faults(&outage(1_000_000_000))
+            .run();
+        assert!(report.completed > 0, "pre-fault work completes");
+        assert_eq!(report.degraded, 0, "no fallback configured");
+        // Everything after the outage is shed or stranded, never lost.
+        assert!(report.shed + report.unfinished > 0);
+        assert_eq!(
+            report.arrivals,
+            report.completed + report.shed + report.degraded + report.unfinished
+        );
+    }
+
+    #[test]
+    fn digital_fallback_converts_shed_into_degraded() {
+        let cfg = small_config(500_000.0);
+        let without = runtime(cfg.clone())
+            .with_engine_faults(&outage(1_000_000_000))
+            .run();
+        let with = runtime(cfg)
+            .with_engine_faults(&outage(1_000_000_000))
+            .with_digital_fallback(ofpc_apps::digital::ComputeModel::edge_soc())
+            .run();
+        assert!(with.degraded > 0, "outage work goes digital");
+        assert!(
+            with.shed + with.unfinished < without.shed + without.unfinished,
+            "fallback must beat shedding: {} vs {}",
+            with.shed + with.unfinished,
+            without.shed + without.unfinished
+        );
+        assert_eq!(
+            with.arrivals,
+            with.completed + with.shed + with.degraded + with.unfinished
+        );
+        // Degradation is visible in the ledger: digital joules appear.
+        assert!(with.degraded_energy_j > 0.0);
+        assert!(with.energy_stages_j.contains_key("digital-fallback"));
+    }
+
+    #[test]
+    fn service_resumes_after_repair() {
+        let mut faults = outage(500_000_000);
+        faults.push(EngineFaultEvent {
+            at_ps: 1_000_000_000,
+            node: NodeId(1),
+            up: true,
+        });
+        let report = runtime(small_config(500_000.0))
+            .with_engine_faults(&faults)
+            .with_digital_fallback(ofpc_apps::digital::ComputeModel::edge_soc())
+            .run();
+        // The outage degrades, the repair restores photonic service: both
+        // populations must be present.
+        assert!(report.degraded > 0, "outage window degrades");
+        assert!(report.completed > 0, "photonic service resumes");
+        assert_eq!(
+            report.arrivals,
+            report.completed + report.shed + report.degraded + report.unfinished
+        );
+    }
+
+    #[test]
+    fn same_seed_same_fault_plan_same_report() {
+        let build = || {
+            runtime(small_config(500_000.0))
+                .with_engine_faults(&outage(700_000_000))
+                .with_digital_fallback(ofpc_apps::digital::ComputeModel::edge_soc())
+                .with_retry_policy(RetryPolicy::default())
+                .run()
+        };
+        assert_eq!(
+            serde_json::to_string_pretty(&build()).unwrap(),
+            serde_json::to_string_pretty(&build()).unwrap()
+        );
+    }
+
+    #[test]
+    fn backoff_caps_and_grows() {
+        let r = RetryPolicy {
+            base_ps: 100,
+            max_backoff_ps: 1_000,
+            max_retries: 8,
+        };
+        assert_eq!(r.backoff_ps(0), 100);
+        assert_eq!(r.backoff_ps(1), 200);
+        assert_eq!(r.backoff_ps(2), 400);
+        assert_eq!(r.backoff_ps(5), 1_000, "capped");
+        assert_eq!(r.backoff_ps(63), 1_000, "shift-safe far past the cap");
     }
 
     #[test]

@@ -136,6 +136,8 @@ pub struct SiteSpec {
 struct SlotState {
     busy_until_ps: u64,
     loaded: Option<BatchClass>,
+    /// Hard-failed slots never dispatch until the site recovers.
+    healthy: bool,
 }
 
 /// One dispatched batch: where it ran and what it cost.
@@ -188,6 +190,7 @@ impl Scheduler {
                     SlotState {
                         busy_until_ps: 0,
                         loaded: None,
+                        healthy: true,
                     },
                 );
             }
@@ -216,13 +219,48 @@ impl Scheduler {
         self.slots.len()
     }
 
+    /// Slots that have not hard-failed (photonic serving capacity).
+    pub fn healthy_slots(&self) -> usize {
+        self.slots.values().filter(|s| s.healthy).count()
+    }
+
+    /// Hard-fail every slot at `node`: nothing dispatches there until
+    /// [`Scheduler::recover_site`]. In-service state is wiped — the
+    /// engine restarts cold (weights must reload) — and the runtime
+    /// aborts whatever the site was computing. Returns the number of
+    /// slots taken down.
+    pub fn fail_site(&mut self, node: NodeId) -> usize {
+        let mut n = 0;
+        for (&(slot_node, _), s) in self.slots.iter_mut() {
+            if slot_node == node && s.healthy {
+                s.healthy = false;
+                s.busy_until_ps = 0;
+                s.loaded = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Repair every slot at `node`; they come back idle and unloaded.
+    pub fn recover_site(&mut self, node: NodeId) -> usize {
+        let mut n = 0;
+        for (&(slot_node, _), s) in self.slots.iter_mut() {
+            if slot_node == node && !s.healthy {
+                s.healthy = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Slots that could start a batch dispatched *now* without waiting:
     /// work dispatched at `now` reaches node `n` at `now + access(n)`,
     /// so a slot is usable once its site-local busy window ends by then.
     pub fn idle_slots(&self, now_ps: u64) -> usize {
         self.slots
             .iter()
-            .filter(|(&(node, _), s)| s.busy_until_ps <= now_ps + self.access_ps(node))
+            .filter(|(&(node, _), s)| s.healthy && s.busy_until_ps <= now_ps + self.access_ps(node))
             .count()
     }
 
@@ -235,6 +273,13 @@ impl Scheduler {
         if !batch.is_empty() {
             self.ready.push(batch);
         }
+    }
+
+    /// Pull every queued batch back out, in queue order — the runtime
+    /// diverts them to the digital fallback when no photonic capacity
+    /// remains.
+    pub fn drain_ready(&mut self) -> Vec<Batch> {
+        std::mem::take(&mut self.ready)
     }
 
     fn access_ps(&self, node: NodeId) -> u64 {
@@ -267,7 +312,9 @@ impl Scheduler {
             let slot_key = self
                 .slots
                 .iter()
-                .filter(|(&(node, _), s)| s.busy_until_ps <= now_ps + self.access_ps(node))
+                .filter(|(&(node, _), s)| {
+                    s.healthy && s.busy_until_ps <= now_ps + self.access_ps(node)
+                })
                 .min_by_key(|(&(node, slot), s)| {
                     (s.loaded != Some(class), self.access_ps(node), node, slot)
                 })
@@ -455,6 +502,24 @@ mod tests {
         assert_eq!(s.inventory().available_at(NodeId(1), 0), 0);
         s.release(NodeId(1), 0, d[0].done_ps);
         assert_eq!(s.inventory().available_at(NodeId(1), d[0].done_ps), 1);
+    }
+
+    #[test]
+    fn failed_site_never_dispatches_until_recovered() {
+        let mut s = Scheduler::new(model(), one_site());
+        assert_eq!(s.fail_site(NodeId(1)), 1);
+        assert_eq!(s.healthy_slots(), 0);
+        assert_eq!(s.idle_slots(0), 0);
+        s.enqueue(batch(&[1], u64::MAX, 0));
+        assert!(s.try_dispatch(0).is_empty(), "failed site must not serve");
+        assert_eq!(s.backlog_requests(), 1);
+        // Double-fail is a no-op; repair restores exactly what failed.
+        assert_eq!(s.fail_site(NodeId(1)), 0);
+        assert_eq!(s.recover_site(NodeId(1)), 1);
+        assert_eq!(s.healthy_slots(), 1);
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].batch.len(), 1);
     }
 
     #[test]

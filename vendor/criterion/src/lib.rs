@@ -5,7 +5,7 @@
 //! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
 //! with a plain wall-clock measurement loop instead of criterion's
 //! statistical machinery. Each benchmark is auto-calibrated to run for
-//! roughly [`TARGET_RUN_TIME`], then reports the mean per-iteration time
+//! roughly `TARGET_RUN_TIME`, then reports the mean per-iteration time
 //! (plus derived throughput) on stdout.
 
 use std::fmt::Display;
