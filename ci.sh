@@ -4,17 +4,39 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# `cargo test` does not promote warnings to errors on its own: run it
+# under a tee and fail the gate if anything in the build or the test
+# output itself warned (deprecations, dead code resurfacing in
+# test-only cfgs, tests eprintln-ing "warning:" diagnostics).
+run_no_warnings() {
+    local log
+    log="$(mktemp)"
+    "$@" 2>&1 | tee "$log"
+    if grep -E '(^|[[:space:]])[Ww]arning(:|\[)' "$log" > /dev/null; then
+        echo "==> FAIL: warnings in output of: $*" >&2
+        rm -f "$log"
+        exit 1
+    fi
+    rm -f "$log"
+}
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q"
-cargo test --offline --workspace -q
+echo "==> cargo test -q (debug, no warnings tolerated)"
+run_no_warnings cargo test --offline --workspace -q
+
+echo "==> cargo test -q --release (tier-1)"
+run_no_warnings cargo test --offline --workspace -q --release
 
 echo "==> cargo test --test faults (fault injection & recovery)"
-cargo test --offline --test faults -q
+run_no_warnings cargo test --offline --test faults -q
+
+echo "==> telemetry overhead gate (disabled handle within noise of baseline)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench telemetry_overhead
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q

@@ -1,0 +1,172 @@
+//! Criterion bench: cost of the *disabled* telemetry handle on the
+//! serving hot path.
+//!
+//! The whole point of `ofpc_telemetry::Telemetry` being an
+//! `Option<Arc<_>>` is that a disconnected handle costs one branch per
+//! hook — a serving run with telemetry disabled must be
+//! indistinguishable from one that never heard of telemetry. The
+//! vendored criterion stand-in reports means but exposes no statistics
+//! to assert on, so alongside the criterion groups this bench
+//! self-measures interleaved trials of both variants and **fails** if
+//! the disabled-telemetry median falls outside the baseline's noise
+//! band (2% + the baseline's own inter-quartile spread).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofpc_engine::Primitive;
+use ofpc_net::NodeId;
+use ofpc_serve::{
+    ArrivalSpec, BatchPolicy, ServeConfig, ServeRuntime, ServiceModel, SiteSpec, TenantSpec,
+};
+use ofpc_telemetry::Telemetry;
+use ofpc_transponder::compute::ComputeTransponderConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+const HORIZON_PS: u64 = 500_000_000; // 0.5 ms of virtual time
+const RATE_RPS: f64 = 8_000_000.0;
+const TRIALS: usize = 15;
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        seed: 14,
+        horizon_ps: HORIZON_PS,
+        drain_grace_ps: 200_000_000,
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait_ps: 5_000_000,
+        },
+        tenants: vec![
+            TenantSpec {
+                name: "steady".to_string(),
+                weight: 3,
+                queue_capacity: 96,
+                arrivals: ArrivalSpec::Poisson {
+                    rate_rps: RATE_RPS / 2.0,
+                },
+                primitive: Primitive::VectorDotProduct,
+                operand_len: 2048,
+                deadline_ps: 1_000_000_000,
+            },
+            TenantSpec {
+                name: "bursty".to_string(),
+                weight: 1,
+                queue_capacity: 32,
+                arrivals: ArrivalSpec::Poisson {
+                    rate_rps: RATE_RPS / 2.0,
+                },
+                primitive: Primitive::VectorDotProduct,
+                operand_len: 2048,
+                deadline_ps: 1_000_000_000,
+            },
+        ],
+        verify_every: 0,
+    }
+}
+
+/// `telemetry: None` builds the runtime bare; `Some(tel)` threads the
+/// handle through every hook (a disabled handle must cost ~nothing).
+fn runtime(telemetry: Option<&Telemetry>) -> ServeRuntime {
+    let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+    let sites = vec![
+        SiteSpec {
+            node: NodeId(1),
+            slots: 1,
+            access_ps: 100_000,
+        },
+        SiteSpec {
+            node: NodeId(2),
+            slots: 1,
+            access_ps: 200_000,
+        },
+    ];
+    let rt = ServeRuntime::new(config(), model, sites);
+    match telemetry {
+        Some(tel) => rt.with_telemetry(tel),
+        None => rt,
+    }
+}
+
+fn time_run(telemetry: Option<&Telemetry>) -> f64 {
+    let rt = runtime(telemetry);
+    let t0 = Instant::now();
+    black_box(rt.run());
+    t0.elapsed().as_secs_f64()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn quartile_spread(sorted: &[f64]) -> f64 {
+    sorted[(sorted.len() * 3) / 4] - sorted[sorted.len() / 4]
+}
+
+/// The asserting half: interleaved trials so clock drift and cache state
+/// hit both variants equally, medians so one preempted trial cannot
+/// fake a regression.
+fn assert_disabled_telemetry_is_free() {
+    let disabled = Telemetry::disabled();
+    // Warm both paths (first run pays allocator and page-cache costs).
+    time_run(None);
+    time_run(Some(&disabled));
+    let mut base = Vec::with_capacity(TRIALS);
+    let mut dis = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS {
+        // Alternate order so slow-drift bias cancels.
+        if trial % 2 == 0 {
+            base.push(time_run(None));
+            dis.push(time_run(Some(&disabled)));
+        } else {
+            dis.push(time_run(Some(&disabled)));
+            base.push(time_run(None));
+        }
+    }
+    let m_base = median(&mut base);
+    let m_dis = median(&mut dis);
+    let noise = quartile_spread(&base);
+    let bound = m_base * 1.02 + noise;
+    println!(
+        "telemetry_overhead: baseline {:.3} ms, disabled-telemetry {:.3} ms \
+         (bound {:.3} ms = base +2% + IQR {:.3} ms)",
+        m_base * 1e3,
+        m_dis * 1e3,
+        bound * 1e3,
+        noise * 1e3,
+    );
+    assert!(
+        m_dis <= bound,
+        "disabled telemetry must be within noise of the bare serve path: \
+         {:.3} ms vs bound {:.3} ms",
+        m_dis * 1e3,
+        bound * 1e3,
+    );
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let arrivals = runtime(None).run().arrivals;
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements(arrivals));
+    group.bench_with_input(BenchmarkId::new("serve", "baseline"), &(), |b, ()| {
+        b.iter(|| black_box(runtime(None).run()));
+    });
+    let disabled = Telemetry::disabled();
+    group.bench_with_input(BenchmarkId::new("serve", "disabled"), &(), |b, ()| {
+        b.iter(|| black_box(runtime(Some(&disabled)).run()));
+    });
+    // Enabled telemetry is allowed to cost (it records every request's
+    // trace tree); measured here so the overhead stays visible. A fresh
+    // handle per run keeps the trace buffer from compounding across
+    // iterations.
+    group.bench_with_input(BenchmarkId::new("serve", "enabled"), &(), |b, ()| {
+        b.iter(|| {
+            let enabled = Telemetry::enabled();
+            black_box(runtime(Some(&enabled)).run())
+        });
+    });
+    group.finish();
+    assert_disabled_telemetry_is_free();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

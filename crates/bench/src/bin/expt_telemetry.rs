@@ -1,0 +1,454 @@
+//! E14 — telemetry: replay the E12 serving load point and the E13
+//! fault scenarios with tracing and the metrics registry enabled, then
+//! cross-check everything the telemetry layer reports against the
+//! exact summaries the runtimes compute themselves.
+//!
+//! Three properties are enforced:
+//!
+//! * **The trace is well formed** — every `B` has a matching `E` on its
+//!   (pid, tid) track (checked by `validate_balanced`) and the dump is
+//!   valid Chrome-trace JSON (an array of trace_event objects a
+//!   `chrome://tracing` / Perfetto load accepts).
+//! * **The registry agrees with the reports** — per-tenant
+//!   p50/p99/p999 latency from the log-linear histograms lands within
+//!   the bucket quantization bound (±3.2% plus nearest-rank slack) of
+//!   the exact percentiles in [`ServeReport`]; per-stage energy gauges
+//!   and the arrival/completion/shed counters match exactly.
+//! * **Telemetry preserves determinism** — the instrumented runs replay
+//!   byte-identical (same seed ⇒ same trace JSON, same metrics JSON),
+//!   and the report equals the un-instrumented baseline's.
+
+use ofpc_apps::digital::ComputeModel;
+use ofpc_bench::table::{dump_json, Table};
+use ofpc_controller::demand::{Demand, TaskDag};
+use ofpc_controller::protection::RecoveryParams;
+use ofpc_core::{OnFiberNetwork, Solver};
+use ofpc_engine::Primitive;
+use ofpc_faults::{trace_recovery, Orchestrator};
+use ofpc_net::sim::OpSpec;
+use ofpc_net::{NodeId, Topology};
+use ofpc_serve::{
+    ArrivalSpec, BatchClass, BatchPolicy, EngineFaultEvent, ServeConfig, ServeReport, ServeRuntime,
+    ServiceModel, TenantSpec,
+};
+use ofpc_telemetry::{labels, validate_balanced, Telemetry};
+use ofpc_transponder::compute::ComputeTransponderConfig;
+use serde::Serialize;
+
+const SEED: u64 = 14;
+const WDM_CHANNELS: usize = 4;
+const OPERAND_LEN: usize = 2048;
+const P1: Primitive = Primitive::VectorDotProduct;
+
+/// Worst-case relative error of a histogram percentile: ±3.2% bucket
+/// quantization plus nearest-rank slack on small samples.
+const PCTL_TOL: f64 = 0.08;
+
+// ------------------------------------------------------------- E12 replay
+
+fn metro() -> OnFiberNetwork {
+    let mut sys = OnFiberNetwork::new(Topology::line(3, 10.0), SEED);
+    sys.upgrade_site(NodeId(1), 1);
+    sys.upgrade_site(NodeId(2), 1);
+    sys
+}
+
+/// The E12 knee estimate (full, affinity-hot batches across both slots).
+fn capacity_rps() -> f64 {
+    let model =
+        ServiceModel::from_transponder(&ComputeTransponderConfig::realistic(), WDM_CHANNELS);
+    let class = BatchClass {
+        primitive: P1,
+        operand_len: OPERAND_LEN as u32,
+    };
+    let (service_ps, _) = model.batch_service(class, 8, Some(class));
+    2.0 * 8.0 / (service_ps as f64 * 1e-12)
+}
+
+/// The E12 two-tenant mix at the saturation knee, batching on.
+fn e12_config(total_rps: f64) -> ServeConfig {
+    ServeConfig {
+        seed: 12,
+        horizon_ps: 2_000_000_000,
+        drain_grace_ps: 1_000_000_000,
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait_ps: 5_000_000,
+        },
+        tenants: vec![
+            TenantSpec {
+                name: "steady".to_string(),
+                weight: 3,
+                queue_capacity: 96,
+                arrivals: ArrivalSpec::Poisson {
+                    rate_rps: total_rps * 0.75,
+                },
+                primitive: P1,
+                operand_len: OPERAND_LEN,
+                deadline_ps: 2_000_000_000,
+            },
+            TenantSpec {
+                name: "bursty".to_string(),
+                weight: 1,
+                queue_capacity: 32,
+                arrivals: ArrivalSpec::Mmpp {
+                    calm_rps: total_rps * 0.125,
+                    burst_rps: total_rps * 1.125,
+                    mean_calm_s: 200e-6,
+                    mean_burst_s: 50e-6,
+                },
+                primitive: P1,
+                operand_len: OPERAND_LEN,
+                deadline_ps: 2_000_000_000,
+            },
+        ],
+        verify_every: 256,
+    }
+}
+
+fn run_e12(tel: Option<&Telemetry>) -> ServeReport {
+    let sys = metro();
+    let mut rt = ServeRuntime::over_network(
+        &sys,
+        NodeId(0),
+        &ComputeTransponderConfig::realistic(),
+        WDM_CHANNELS,
+        e12_config(capacity_rps()),
+    );
+    if let Some(tel) = tel {
+        rt = rt.with_telemetry(tel);
+    }
+    rt.run()
+}
+
+// ------------------------------------------------------------ E13 replays
+
+/// The E13c double-site outage window.
+fn outage_schedule() -> Vec<EngineFaultEvent> {
+    vec![
+        EngineFaultEvent {
+            at_ps: 500_000_000,
+            node: NodeId(1),
+            up: false,
+        },
+        EngineFaultEvent {
+            at_ps: 800_000_000,
+            node: NodeId(2),
+            up: false,
+        },
+        EngineFaultEvent {
+            at_ps: 1_200_000_000,
+            node: NodeId(2),
+            up: true,
+        },
+        EngineFaultEvent {
+            at_ps: 1_500_000_000,
+            node: NodeId(1),
+            up: true,
+        },
+    ]
+}
+
+fn run_e13_fallback(tel: Option<&Telemetry>) -> ServeReport {
+    let sys = metro();
+    let mut rt = ServeRuntime::over_network(
+        &sys,
+        NodeId(0),
+        &ComputeTransponderConfig::realistic(),
+        WDM_CHANNELS,
+        ServeConfig {
+            seed: 13,
+            horizon_ps: 2_000_000_000,
+            drain_grace_ps: 1_000_000_000,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait_ps: 5_000_000,
+            },
+            tenants: vec![TenantSpec {
+                name: "steady".to_string(),
+                weight: 1,
+                queue_capacity: 96,
+                arrivals: ArrivalSpec::Poisson { rate_rps: 6e6 },
+                primitive: P1,
+                operand_len: OPERAND_LEN,
+                deadline_ps: 2_000_000_000,
+            }],
+            verify_every: 256,
+        },
+    )
+    .with_engine_faults(&outage_schedule())
+    .with_digital_fallback(ComputeModel::cpu());
+    if let Some(tel) = tel {
+        rt = rt.with_telemetry(tel);
+    }
+    rt.run()
+}
+
+/// The E13b targeted fiber cut, with the recovery pass traced.
+fn run_e13_cut(tel: &Telemetry) -> u64 {
+    let mut sys = OnFiberNetwork::new(Topology::fig1(), 13);
+    sys.upgrade_site(NodeId(1), 1);
+    sys.upgrade_site(NodeId(2), 1);
+    sys.set_telemetry(tel);
+    sys.submit_demand(
+        Demand::new(1, NodeId(0), NodeId(3), TaskDag::single(P1)),
+        OpSpec::Dot {
+            weights: vec![0.25; 8],
+        },
+    );
+    let orch = Orchestrator::new(
+        RecoveryParams::default(),
+        Solver::Exact {
+            node_budget: 1_000_000,
+        },
+    );
+    sys.allocate_and_apply(orch.solver);
+    let a = sys.net.topo.find_node("A").unwrap();
+    let (cut_link, _) = sys.net.topo.neighbors(a)[0];
+    sys.net.set_link_up(cut_link, false);
+    let out = orch.recover_from_cut(&mut sys, 1_000_000);
+    trace_recovery(tel, "fiber-cut", &out);
+    assert!(out.fully_applied && out.unsatisfied == 0);
+    out.timeline.ttr_ps()
+}
+
+// ------------------------------------------------------------- validation
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12)
+}
+
+/// Registry percentiles and counters vs the report's exact numbers.
+fn check_report_agreement(tel: &Telemetry, report: &ServeReport, tenants: &[&str]) {
+    let snap = tel.snapshot();
+    for (i, name) in tenants.iter().enumerate() {
+        let t = &report.tenants[i];
+        let l = labels(&[("tenant", name)]);
+        assert_eq!(
+            snap.counter("serve_arrivals_total", &l),
+            Some(t.arrivals),
+            "{name}: arrivals counter"
+        );
+        assert_eq!(
+            snap.counter("serve_completed_total", &l),
+            Some(t.completed),
+            "{name}: completed counter"
+        );
+        assert_eq!(
+            snap.counter("serve_degraded_total", &l),
+            Some(t.degraded),
+            "{name}: degraded counter"
+        );
+        let shed: u64 = [
+            "queue-full",
+            "expired-queued",
+            "expired-serving",
+            "engine-failed",
+        ]
+        .iter()
+        .map(|r| {
+            snap.counter(
+                "serve_shed_total",
+                &labels(&[("tenant", name), ("reason", r)]),
+            )
+            .unwrap_or(0)
+        })
+        .sum();
+        assert_eq!(
+            shed,
+            t.shed_queue_full
+                + t.shed_expired_queued
+                + t.shed_expired_serving
+                + t.shed_engine_failed,
+            "{name}: shed counters"
+        );
+        let h = snap
+            .histogram("serve_latency_ps", &l)
+            .expect("latency histogram registered");
+        assert_eq!(h.count, t.completed, "{name}: latency sample count");
+        for (p, exact_us) in [
+            (h.p50, t.p50_latency_us),
+            (h.p99, t.p99_latency_us),
+            (h.p999, t.p999_latency_us),
+        ] {
+            let Some(exact_us) = exact_us else { continue };
+            let got_us = p as f64 / 1e6;
+            assert!(
+                close(got_us, exact_us, PCTL_TOL),
+                "{name}: histogram percentile {got_us:.2} µs vs exact {exact_us:.2} µs"
+            );
+        }
+        let e = snap
+            .gauge("serve_energy_joules", &l)
+            .expect("tenant energy gauge");
+        assert!(close(e, t.energy_j, 1e-9), "{name}: energy gauge");
+    }
+    for (stage, &joules) in &report.energy_stages_j {
+        let g = snap
+            .gauge(
+                "serve_stage_energy_joules",
+                &labels(&[("stage", stage.as_str())]),
+            )
+            .unwrap_or_else(|| panic!("stage energy gauge for {stage}"));
+        assert!(
+            close(g, joules, 1e-9),
+            "stage {stage}: gauge {g:.3e} vs report {joules:.3e}"
+        );
+    }
+}
+
+/// Parse the Chrome-trace dump back and sanity-check its shape: a JSON
+/// array of objects each carrying name/cat/ph/ts/pid/tid.
+fn check_chrome_json(json: &str) -> usize {
+    let v: serde_json::Value = serde_json::from_str(json).expect("trace dump parses as JSON");
+    let events = v.as_seq().expect("trace dump must be a JSON array");
+    assert!(!events.is_empty(), "trace must not be empty");
+    for ev in events {
+        let o = ev.as_map().expect("every trace event must be an object");
+        for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(
+                o.iter().any(|(k, _)| k == key),
+                "trace event missing {key:?}"
+            );
+        }
+        let ph = o
+            .iter()
+            .find(|(k, _)| k == "ph")
+            .and_then(|(_, v)| v.as_str())
+            .expect("ph is a string");
+        assert!(["B", "E", "i"].contains(&ph), "unexpected phase {ph:?}");
+    }
+    events.len()
+}
+
+#[derive(Debug, Serialize)]
+struct E14Summary {
+    e12_trace_events: usize,
+    e12_spans: usize,
+    e13_trace_events: usize,
+    e13_spans: usize,
+    e13_cut_ttr_us: f64,
+    e12_report: ServeReport,
+    e13_report: ServeReport,
+    e12_metrics: ofpc_telemetry::MetricsSnapshot,
+    e13_metrics: ofpc_telemetry::MetricsSnapshot,
+}
+
+fn main() {
+    // --- E12 replay: instrumented twice (replay determinism) and once
+    // bare (telemetry must not perturb the simulation). ---
+    let tel_a = Telemetry::enabled();
+    let report_a = run_e12(Some(&tel_a));
+    let tel_b = Telemetry::enabled();
+    let report_b = run_e12(Some(&tel_b));
+    let baseline = run_e12(None);
+
+    let trace_a = tel_a.chrome_trace_json();
+    assert_eq!(
+        trace_a,
+        tel_b.chrome_trace_json(),
+        "same seed ⇒ byte-identical trace"
+    );
+    assert_eq!(
+        tel_a.metrics_json(),
+        tel_b.metrics_json(),
+        "same seed ⇒ byte-identical metrics"
+    );
+    assert_eq!(
+        serde_json::to_string(&report_a).unwrap(),
+        serde_json::to_string(&report_b).unwrap(),
+        "instrumented replay must be deterministic"
+    );
+    assert_eq!(
+        serde_json::to_string(&report_a).unwrap(),
+        serde_json::to_string(&baseline).unwrap(),
+        "telemetry must not perturb the simulation"
+    );
+
+    let e12_events = check_chrome_json(&trace_a);
+    let e12_spans =
+        validate_balanced(&tel_a.trace_events()).expect("E12 trace must balance B/E per track");
+    check_report_agreement(&tel_a, &report_a, &["steady", "bursty"]);
+
+    // --- E13 replay: the fallback scenario plus a traced recovery. ---
+    let tel_f = Telemetry::enabled();
+    let report_f = run_e13_fallback(Some(&tel_f));
+    assert!(report_f.degraded > 0, "fallback must absorb displaced work");
+    let ttr_ps = run_e13_cut(&tel_f);
+    let trace_f = tel_f.chrome_trace_json();
+    let e13_events = check_chrome_json(&trace_f);
+    let e13_spans =
+        validate_balanced(&tel_f.trace_events()).expect("E13 trace must balance B/E per track");
+    check_report_agreement(&tel_f, &report_f, &["steady"]);
+    let snap_f = tel_f.snapshot();
+    assert_eq!(
+        snap_f.counter("recoveries_total", &labels(&[("kind", "fiber-cut")])),
+        Some(1),
+        "the traced recovery must register"
+    );
+    // The fault instants made it into the trace as structured events.
+    for name in [
+        "site.fail",
+        "site.repair",
+        "fallback.digital",
+        "fault.fiber-cut",
+    ] {
+        assert!(
+            tel_f.trace_events().iter().any(|e| e.name == name),
+            "trace must carry {name:?} events"
+        );
+    }
+
+    let mut t = Table::new(
+        "E14 — telemetry replay (E12 knee + E13 fallback/cut)",
+        &["scenario", "trace events", "spans", "completed", "p99 µs"],
+    );
+    t.row(&[
+        "E12 knee".into(),
+        format!("{e12_events}"),
+        format!("{e12_spans}"),
+        format!("{}", report_a.completed),
+        report_a
+            .p99_latency_us
+            .map_or("-".into(), |v| format!("{v:.1}")),
+    ]);
+    t.row(&[
+        "E13 fallback+cut".into(),
+        format!("{e13_events}"),
+        format!("{e13_spans}"),
+        format!("{}", report_f.completed),
+        report_f
+            .p99_latency_us
+            .map_or("-".into(), |v| format!("{v:.1}")),
+    ]);
+    t.print();
+    println!(
+        "traced recovery TTR {:.0} µs; registry agrees with reports \
+         (counters exact, percentiles within ±{:.0}%)",
+        ttr_ps as f64 / 1e6,
+        PCTL_TOL * 100.0
+    );
+
+    // --- Artifacts: the Chrome trace and the metrics snapshot. ---
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/e14_telemetry_trace.json", &trace_f);
+        let _ = std::fs::write("results/e14_telemetry_trace_e12.json", &trace_a);
+    }
+    dump_json(
+        "e14_telemetry",
+        &E14Summary {
+            e12_trace_events: e12_events,
+            e12_spans,
+            e13_trace_events: e13_events,
+            e13_spans,
+            e13_cut_ttr_us: ttr_ps as f64 / 1e6,
+            e12_report: report_a,
+            e13_report: report_f,
+            e12_metrics: tel_a.snapshot(),
+            e13_metrics: snap_f,
+        },
+    );
+    println!(
+        "\nwrote results/e14_telemetry{{_trace,_trace_e12}}.json and results/e14_telemetry.json"
+    );
+}

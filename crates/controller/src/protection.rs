@@ -145,6 +145,25 @@ impl RecoveryTimeline {
     pub fn ttr_ps(&self) -> u64 {
         self.installed_at_ps - self.fault_at_ps
     }
+
+    /// The three sequential recovery stages as `(name, start, end)`
+    /// picosecond intervals — the shape telemetry traces and reports
+    /// consume without re-deriving stage boundaries.
+    pub fn stages(&self) -> [(&'static str, u64, u64); 3] {
+        [
+            ("recovery.detect", self.fault_at_ps, self.detected_at_ps),
+            (
+                "recovery.realloc",
+                self.detected_at_ps,
+                self.reallocated_at_ps,
+            ),
+            (
+                "recovery.install",
+                self.reallocated_at_ps,
+                self.installed_at_ps,
+            ),
+        ]
+    }
 }
 
 impl RecoveryParams {

@@ -93,6 +93,14 @@ impl OnFiberNetwork {
         }
     }
 
+    /// Attach a telemetry handle: the packet simulator mirrors its
+    /// counters onto the registry and emits trace events for link/engine
+    /// state flips and engine executions. A disabled handle (the
+    /// default) costs one branch per hook.
+    pub fn set_telemetry(&mut self, tel: &ofpc_telemetry::Telemetry) {
+        self.net.set_telemetry(tel);
+    }
+
     /// Upgrade a site with `count` photonic compute transponders — the
     /// paper's pluggable, backward-compatible deployment step.
     pub fn upgrade_site(&mut self, node: NodeId, count: usize) {

@@ -11,12 +11,15 @@ use crate::dot::{DotProductUnit, DotUnitConfig};
 use ofpc_photonics::energy::EnergyLedger;
 use ofpc_photonics::wdm::WdmGrid;
 use ofpc_photonics::SimRng;
+use ofpc_telemetry::{Counter, Telemetry};
 
 /// A bank of P1 units, one per WDM lane.
 #[derive(Debug, Clone)]
 pub struct PhotonicMatVec {
     lanes: Vec<DotProductUnit>,
     grid: WdmGrid,
+    tel_mvms: Counter,
+    tel_macs: Counter,
 }
 
 impl PhotonicMatVec {
@@ -33,7 +36,19 @@ impl PhotonicMatVec {
             let mut lane_rng = rng.derive(&format!("mvm-lane-{lane}"));
             units.push(DotProductUnit::new(cfg, &mut lane_rng));
         }
-        PhotonicMatVec { lanes: units, grid }
+        PhotonicMatVec {
+            lanes: units,
+            grid,
+            tel_mvms: Counter::noop(),
+            tel_macs: Counter::noop(),
+        }
+    }
+
+    /// Profiling hook: count matvec calls and MACs on the registry
+    /// (`engine_mvms_total` / `engine_macs_total`).
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel_mvms = tel.counter("engine_mvms_total", &Vec::new());
+        self.tel_macs = tel.counter("engine_macs_total", &Vec::new());
     }
 
     /// Ideal engine for algebra tests.
@@ -75,6 +90,8 @@ impl PhotonicMatVec {
             let lane = r % self.lanes.len();
             y.push(self.lanes[lane].dot_signed(row, x));
         }
+        self.tel_mvms.inc();
+        self.tel_macs.add((matrix.len() * x.len()) as u64);
         y
     }
 
@@ -87,6 +104,8 @@ impl PhotonicMatVec {
             let lane = r % self.lanes.len();
             y.push(self.lanes[lane].dot_nonneg(row, x));
         }
+        self.tel_mvms.inc();
+        self.tel_macs.add((matrix.len() * x.len()) as u64);
         y
     }
 

@@ -177,6 +177,72 @@ mod tests {
     }
 
     #[test]
+    fn droop_crossing_the_alarm_bound_exactly_is_not_yet_a_violation() {
+        // Pin the trip threshold to the BER the droop reaches at sample
+        // k: that sample sits *exactly on* the bound, and the strict
+        // `ber > ber_trip` test means violations only start at k+1, so
+        // the debounced trip lands at k + trip_after.
+        let drift = EdfaGainDrift {
+            q0: 7.0,
+            dq_per_s: 0.1,
+        };
+        let step_s = 1.0;
+        let k = 20;
+        let cfg = WatchdogConfig {
+            ber_trip: drift.ber_at(k as f64 * step_s),
+            ..WatchdogConfig::default()
+        };
+        let mut w = EngineWatchdog::new(cfg);
+        let at = detect_step(&mut w, &drift, step_s, 200).expect("ramp must trip");
+        assert_eq!(
+            at,
+            k + cfg.trip_after as usize,
+            "at-bound sample k={k} must not count toward the debounce run"
+        );
+        // Replaying sample k alone against a fresh watchdog: usable.
+        let mut fresh = EngineWatchdog::new(cfg);
+        for _ in 0..cfg.trip_after * 4 {
+            assert!(fresh.observe_q(drift.q_at(k as f64 * step_s)).usable());
+        }
+        assert_eq!(fresh.trips, 0);
+    }
+
+    #[test]
+    fn recovered_drift_does_not_flap_the_watchdog() {
+        // Gain droop trips the watchdog; the EDFA is re-pumped (Q back to
+        // healthy) but wobbles briefly past the bound once more before
+        // settling. Hysteresis holds the engine out until the clean run
+        // completes — health never oscillates.
+        let cfg = WatchdogConfig::default();
+        let drift = EdfaGainDrift {
+            q0: 7.5,
+            dq_per_s: 0.25,
+        };
+        let mut w = EngineWatchdog::new(cfg);
+        detect_step(&mut w, &drift, 1.0, 200).expect("drift trips");
+        let mut transitions = 0;
+        let mut last_usable = false;
+        // clear_after-1 clean samples, one wobble, then a clean run.
+        for _ in 0..cfg.clear_after - 1 {
+            w.observe_q(7.5);
+        }
+        w.observe_q(2.0);
+        for _ in 0..cfg.clear_after * 2 {
+            let usable = w.observe_q(7.5).usable();
+            if usable != last_usable {
+                transitions += 1;
+            }
+            last_usable = usable;
+        }
+        assert!(last_usable, "sustained clean run must re-arm");
+        assert_eq!(
+            transitions, 1,
+            "exactly one unusable→usable transition: no flapping"
+        );
+        assert_eq!(w.trips, 1);
+    }
+
+    #[test]
     fn droop_crosses_the_floor_when_it_should() {
         let droop = LaserDroop {
             p0_w: 1e-3,

@@ -30,5 +30,5 @@ pub mod plan;
 
 pub use drift::{EdfaGainDrift, LaserDroop, PdDegradation};
 pub use inject::inject;
-pub use orchestrator::{AvailabilityLedger, Orchestrator, RecoveryOutcome};
+pub use orchestrator::{trace_recovery, AvailabilityLedger, Orchestrator, RecoveryOutcome};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, MtbfSpec};

@@ -16,6 +16,7 @@ use ofpc_controller::teupdate::UpdatePlan;
 use ofpc_controller::{RecoveryParams, RecoveryTimeline};
 use ofpc_core::{OnFiberNetwork, Solver};
 use ofpc_net::NodeId;
+use ofpc_telemetry::{labels, track, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -98,6 +99,53 @@ impl Orchestrator {
             fully_applied: sys.last_apply.as_ref().is_some_and(|r| r.fully_applied()),
         }
     }
+}
+
+/// Emit one recovery pass as structured trace events on
+/// [`track::RECOVERY`] and bump the `recoveries_total{kind}` counter.
+///
+/// Each recovery gets its own trace lane (`tid = fault_at_ps`, unique in
+/// a deterministic schedule), carrying an instant `fault.<kind>` marker
+/// at the fault instant, one span per [`RecoveryTimeline::stages`] stage,
+/// and a closing `recovery.complete` instant with the outcome counts.
+/// [`Orchestrator`] stays `Copy`; callers thread the handle explicitly.
+pub fn trace_recovery(tel: &Telemetry, kind: &str, outcome: &RecoveryOutcome) {
+    tel.counter("recoveries_total", &labels(&[("kind", kind)]))
+        .inc();
+    if !tel.is_enabled() {
+        return;
+    }
+    let tl = &outcome.timeline;
+    let tid = tl.fault_at_ps;
+    tel.instant(
+        track::RECOVERY,
+        tid,
+        "fault",
+        &format!("fault.{kind}"),
+        tl.fault_at_ps,
+        vec![("kind".into(), kind.into())],
+    );
+    for (name, start, end) in tl.stages() {
+        tel.span(track::RECOVERY, tid, "recovery", name, start, end);
+    }
+    tel.instant(
+        track::RECOVERY,
+        tid,
+        "fault",
+        "recovery.complete",
+        tl.installed_at_ps,
+        vec![
+            ("kind".into(), kind.into()),
+            (
+                "routers_updated".into(),
+                outcome.routers_updated.to_string(),
+            ),
+            ("installs".into(), outcome.installs.to_string()),
+            ("unsatisfied".into(), outcome.unsatisfied.to_string()),
+            ("fully_applied".into(), outcome.fully_applied.to_string()),
+            ("ttr_ps".into(), tl.ttr_ps().to_string()),
+        ],
+    );
 }
 
 /// Downtime bookkeeping over a fixed horizon: outage windows are

@@ -24,6 +24,7 @@ use crate::topology::{LinkId, NodeId, Topology};
 use ofpc_engine::Primitive;
 use ofpc_photonics::energy::constants;
 use ofpc_photonics::SimRng;
+use ofpc_telemetry::{labels, track, Counter, Telemetry};
 use std::collections::HashMap;
 
 /// Default router egress queue capacity, bytes (1 MB class).
@@ -132,7 +133,59 @@ pub struct Network {
     meta: HashMap<u32, (u64, u32)>,
     /// Per-link up/down state (fiber cuts). Indexed by `LinkId`.
     link_up: Vec<bool>,
+    /// Observability handle (disabled by default; see
+    /// [`Network::set_telemetry`]).
+    tel: Telemetry,
+    series: NetSeries,
 }
+
+/// Pre-registered registry series mirroring [`StatsCollector`]'s
+/// counters plus event-loop and engine profiling hooks. All handles are
+/// no-ops until [`Network::set_telemetry`] installs live ones, so the
+/// hot path pays one branch per sample when telemetry is off.
+#[derive(Debug, Clone, Default)]
+struct NetSeries {
+    /// Events handled by the loop, labeled by kind (profiling hook).
+    events: [Counter; 7],
+    injected: Counter,
+    delivered: Counter,
+    drops: [Counter; 4],
+    engine_execs: Counter,
+    engine_macs: Counter,
+}
+
+const EV_KINDS: [&str; 7] = [
+    "inject",
+    "arrive",
+    "engine-done",
+    "tx-done",
+    "link-state",
+    "engine-health",
+    "engine-noise",
+];
+
+fn ev_kind(ev: &Ev) -> usize {
+    match ev {
+        Ev::Inject { .. } => 0,
+        Ev::Arrive { .. } => 1,
+        Ev::EngineDone { .. } => 2,
+        Ev::TxDone { .. } => 3,
+        Ev::LinkState { .. } => 4,
+        Ev::EngineHealth { .. } => 5,
+        Ev::EngineNoise { .. } => 6,
+    }
+}
+
+fn drop_idx(reason: DropReason) -> usize {
+    match reason {
+        DropReason::QueueFull => 0,
+        DropReason::TtlExpired => 1,
+        DropReason::NoRoute => 2,
+        DropReason::LinkDown => 3,
+    }
+}
+
+const DROP_KINDS: [&str; 4] = ["queue-full", "ttl-expired", "no-route", "link-down"];
 
 impl Network {
     /// Build a simulator over `topo` with default queue sizes.
@@ -159,7 +212,36 @@ impl Network {
             rng,
             meta: HashMap::new(),
             link_up,
+            tel: Telemetry::disabled(),
+            series: NetSeries::default(),
         }
+    }
+
+    /// Attach an observability handle: mirrors the [`StatsCollector`]
+    /// counters onto the shared registry as `net_*` series, counts
+    /// event-loop iterations by kind, tracks engine executions/MACs,
+    /// emits per-op engine spans, and records fault transitions
+    /// (link/engine state flips) as structured instant trace events.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+        self.series = NetSeries {
+            events: std::array::from_fn(|i| {
+                tel.counter("net_events_total", &labels(&[("kind", EV_KINDS[i])]))
+            }),
+            injected: tel.counter("net_injected_total", &Vec::new()),
+            delivered: tel.counter("net_delivered_total", &Vec::new()),
+            drops: std::array::from_fn(|i| {
+                tel.counter("net_drops_total", &labels(&[("reason", DROP_KINDS[i])]))
+            }),
+            engine_execs: tel.counter("net_engine_executions_total", &Vec::new()),
+            engine_macs: tel.counter("net_engine_macs_total", &Vec::new()),
+        };
+    }
+
+    /// Record a drop in both the exact collector and the registry.
+    fn note_drop(&mut self, reason: DropReason) {
+        self.stats.record_drop(reason);
+        self.series.drops[drop_idx(reason)].inc();
     }
 
     /// The /24 prefix owned by a node (site addressing `10.<site>.0/24`).
@@ -334,7 +416,7 @@ impl Network {
             let dir = Self::dir_index(link, a_to_b);
             while let Some(p) = self.dirs[dir].queue.pop() {
                 self.meta.remove(&p.id);
-                self.stats.record_drop(DropReason::LinkDown);
+                self.note_drop(DropReason::LinkDown);
             }
         }
     }
@@ -449,9 +531,11 @@ impl Network {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        self.series.events[ev_kind(&ev)].inc();
         match ev {
             Ev::Inject { node, packet } => {
                 self.stats.injected += 1;
+                self.series.injected.inc();
                 self.meta.insert(packet.id, (self.events.now_ps(), 0));
                 self.handle_at_node(node, packet);
             }
@@ -460,7 +544,7 @@ impl Network {
                 // makes it to the far end.
                 if !self.link_up[via.0 as usize] {
                     self.meta.remove(&packet.id);
-                    self.stats.record_drop(DropReason::LinkDown);
+                    self.note_drop(DropReason::LinkDown);
                     return;
                 }
                 if let Some(m) = self.meta.get_mut(&packet.id) {
@@ -476,12 +560,43 @@ impl Network {
                 self.try_transmit(dir);
             }
             Ev::LinkState { link, up } => {
+                self.tel.instant(
+                    track::NET,
+                    u64::from(link.0),
+                    "fault",
+                    if up { "link.up" } else { "link.down" },
+                    self.events.now_ps(),
+                    vec![("link".to_string(), link.0.to_string())],
+                );
                 self.set_link_up(link, up);
             }
             Ev::EngineHealth { node, healthy } => {
+                self.tel.instant(
+                    track::NET,
+                    u64::from(node.0),
+                    "fault",
+                    if healthy {
+                        "engine.repair"
+                    } else {
+                        "engine.fail"
+                    },
+                    self.events.now_ps(),
+                    vec![("node".to_string(), node.0.to_string())],
+                );
                 self.set_engine_health(node, healthy);
             }
             Ev::EngineNoise { node, sigma } => {
+                self.tel.instant(
+                    track::NET,
+                    u64::from(node.0),
+                    "fault",
+                    "engine.drift",
+                    self.events.now_ps(),
+                    vec![
+                        ("node".to_string(), node.0.to_string()),
+                        ("sigma".to_string(), format!("{sigma:e}")),
+                    ],
+                );
                 self.set_engine_noise(node, sigma);
             }
         }
@@ -503,6 +618,20 @@ impl Network {
         // incoming light, Fig. 4).
         if let Some((pending, _)) = Self::pending_primitive(&packet) {
             if let Some(latency_ps) = self.try_execute(node, pending, &mut packet) {
+                self.series.engine_execs.inc();
+                self.series.engine_macs.add(packet.operands().len() as u64);
+                // One span per in-flight op on the packet's own track:
+                // packets can overlap at a node, requests never overlap
+                // on their own id.
+                self.tel.span_args(
+                    track::SITES,
+                    u64::from(packet.id),
+                    "net",
+                    "engine.op",
+                    self.events.now_ps(),
+                    self.events.now_ps() + latency_ps,
+                    vec![("node".to_string(), node.0.to_string())],
+                );
                 self.events
                     .schedule_in(latency_ps, Ev::EngineDone { node, packet });
                 return;
@@ -619,6 +748,7 @@ impl Network {
         // Local delivery?
         if self.addr_node(packet.dst) == Some(node) {
             let (created, hops) = self.meta.remove(&packet.id).unwrap_or((0, 0));
+            self.series.delivered.inc();
             self.stats.record_delivery(DeliveryRecord {
                 packet_id: packet.id,
                 created_ps: created,
@@ -634,7 +764,7 @@ impl Network {
             return;
         }
         if !packet.decrement_ttl() {
-            self.stats.record_drop(DropReason::TtlExpired);
+            self.note_drop(DropReason::TtlExpired);
             self.meta.remove(&packet.id);
             return;
         }
@@ -642,7 +772,7 @@ impl Network {
         let Some(link) = self.tables[node.0 as usize]
             .lookup_op(packet.dst, pending.map(|(p, op)| (p, Some(op))))
         else {
-            self.stats.record_drop(DropReason::NoRoute);
+            self.note_drop(DropReason::NoRoute);
             self.meta.remove(&packet.id);
             return;
         };
@@ -650,7 +780,7 @@ impl Network {
             // Loss of light: the route still points at a cut fiber
             // (detection + protection switching have not reconverged it
             // yet).
-            self.stats.record_drop(DropReason::LinkDown);
+            self.note_drop(DropReason::LinkDown);
             self.meta.remove(&packet.id);
             return;
         }
@@ -662,7 +792,7 @@ impl Network {
         let dir = Self::dir_index(link, a_to_b);
         let packet_id = packet.id;
         if !self.dirs[dir].queue.push(packet) {
-            self.stats.record_drop(DropReason::QueueFull);
+            self.note_drop(DropReason::QueueFull);
             self.meta.remove(&packet_id);
             return;
         }

@@ -241,6 +241,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "tenant weight must be positive")]
+    fn zero_weight_tenant_is_rejected_at_construction() {
+        // DRR grants credit per weight unit per round: a zero-weight
+        // tenant would bank nothing forever and starve while holding a
+        // live queue. Construction refuses the config outright rather
+        // than letting the scheduler discover the black hole at runtime.
+        let _ = AdmissionControl::new(&[(16, 3), (16, 0)]);
+    }
+
+    #[test]
     fn conservation_nothing_lost() {
         let mut ac = AdmissionControl::new(&[(5, 2), (5, 1)]);
         let mut offered = 0;

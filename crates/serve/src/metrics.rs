@@ -9,6 +9,7 @@
 //! silently dropped.
 
 use crate::request::{Outcome, ShedReason, TenantId};
+use ofpc_telemetry::{labels, Counter, Gauge, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Per-tenant running counters.
@@ -78,7 +79,62 @@ fn percentile_ps(sorted: &[u64], q: f64) -> Option<u64> {
     Some(sorted[rank - 1])
 }
 
+/// Pre-registered registry series for one tenant — sampled lock-free
+/// on the hot path, no-ops when telemetry is disabled.
+#[derive(Debug, Clone, Default)]
+struct TenantSeries {
+    arrivals: Counter,
+    completed: Counter,
+    shed: [Counter; 4],
+    degraded: Counter,
+    latency_ps: Histogram,
+    energy_j: Gauge,
+}
+
+impl TenantSeries {
+    fn register(tel: &Telemetry, tenant: &str) -> Self {
+        let l = labels(&[("tenant", tenant)]);
+        let shed_label = |reason: &str| labels(&[("tenant", tenant), ("reason", reason)]);
+        TenantSeries {
+            arrivals: tel.counter("serve_arrivals_total", &l),
+            completed: tel.counter("serve_completed_total", &l),
+            shed: [
+                tel.counter("serve_shed_total", &shed_label("queue-full")),
+                tel.counter("serve_shed_total", &shed_label("expired-queued")),
+                tel.counter("serve_shed_total", &shed_label("expired-serving")),
+                tel.counter("serve_shed_total", &shed_label("engine-failed")),
+            ],
+            degraded: tel.counter("serve_degraded_total", &l),
+            latency_ps: tel.histogram("serve_latency_ps", &l),
+            energy_j: tel.gauge("serve_energy_joules", &l),
+        }
+    }
+
+    fn record(&self, outcome: &Outcome) {
+        match *outcome {
+            Outcome::Completed {
+                latency_ps,
+                energy_j,
+                ..
+            } => {
+                self.completed.inc();
+                self.latency_ps.record(latency_ps);
+                self.energy_j.add(energy_j);
+            }
+            Outcome::Shed { reason } => self.shed[reason as usize].inc(),
+            Outcome::DegradedDigital { .. } => self.degraded.inc(),
+        }
+    }
+}
+
 /// The metrics sink the runtime feeds.
+///
+/// The exact collectors (integer-ps latency vectors, per-stage energy
+/// map) stay authoritative for [`MetricsSink::report`]; when built
+/// [`MetricsSink::with_telemetry`], every sample is mirrored onto the
+/// shared [`ofpc_telemetry::MetricsRegistry`] as
+/// `serve_*`-prefixed series labeled by tenant/reason/stage, so the
+/// Prometheus/JSON exporters see the same counts the report does.
 #[derive(Debug)]
 pub struct MetricsSink {
     tenants: Vec<TenantCollector>,
@@ -88,32 +144,70 @@ pub struct MetricsSink {
     pub energy_stages: std::collections::BTreeMap<String, f64>,
     /// Sampled verification results: |photonic − digital| per sample.
     pub verify_abs_errors: Vec<f64>,
+    tel: Telemetry,
+    series: Vec<TenantSeries>,
+    batch_size_series: Histogram,
+    stage_energy_series: std::collections::BTreeMap<String, Gauge>,
 }
 
 impl MetricsSink {
     pub fn new(tenant_count: usize) -> Self {
+        let names: Vec<String> = (0..tenant_count).map(|t| t.to_string()).collect();
+        MetricsSink::with_telemetry(&names, &Telemetry::disabled())
+    }
+
+    /// Like [`MetricsSink::new`], mirroring every sample onto `tel`'s
+    /// registry with one series set per tenant, labeled by tenant name
+    /// (no-op when `tel` is disabled).
+    pub fn with_telemetry(tenant_names: &[String], tel: &Telemetry) -> Self {
+        let series = if tel.is_enabled() {
+            tenant_names
+                .iter()
+                .map(|t| TenantSeries::register(tel, t))
+                .collect()
+        } else {
+            vec![TenantSeries::default(); tenant_names.len()]
+        };
         MetricsSink {
-            tenants: vec![TenantCollector::default(); tenant_count],
+            tenants: vec![TenantCollector::default(); tenant_names.len()],
             batch_sizes: Vec::new(),
             energy_stages: std::collections::BTreeMap::new(),
             verify_abs_errors: Vec::new(),
+            batch_size_series: tel.histogram("serve_batch_size", &Vec::new()),
+            tel: tel.clone(),
+            series,
+            stage_energy_series: std::collections::BTreeMap::new(),
         }
     }
 
     pub fn on_arrival(&mut self, tenant: TenantId) {
         self.tenants[tenant.0 as usize].arrivals += 1;
+        self.series[tenant.0 as usize].arrivals.inc();
     }
 
     pub fn on_outcome(&mut self, tenant: TenantId, outcome: &Outcome) {
         self.tenants[tenant.0 as usize].record(outcome);
+        self.series[tenant.0 as usize].record(outcome);
     }
 
     pub fn on_batch(&mut self, size: u32) {
         self.batch_sizes.push(size);
+        self.batch_size_series.record(u64::from(size));
     }
 
     pub fn add_stage_energy(&mut self, stage: &str, joules: f64) {
         *self.energy_stages.entry(stage.to_string()).or_insert(0.0) += joules;
+        if self.tel.is_enabled() {
+            if let Some(g) = self.stage_energy_series.get(stage) {
+                g.add(joules);
+            } else {
+                let g = self
+                    .tel
+                    .gauge("serve_stage_energy_joules", &labels(&[("stage", stage)]));
+                g.add(joules);
+                self.stage_energy_series.insert(stage.to_string(), g);
+            }
+        }
     }
 
     pub fn tenant(&self, t: TenantId) -> &TenantCollector {

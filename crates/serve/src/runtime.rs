@@ -28,6 +28,7 @@ use ofpc_engine::Primitive;
 use ofpc_net::routing::shortest_paths;
 use ofpc_net::NodeId;
 use ofpc_photonics::SimRng;
+use ofpc_telemetry::{track, Counter, Telemetry};
 use ofpc_transponder::compute::ComputeTransponderConfig;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -128,6 +129,10 @@ struct PendingBatch {
     batch_size: u32,
     per_request_j: f64,
     requests: Vec<ComputeRequest>,
+    /// Trace-tree timestamps (meaningful only when telemetry is on).
+    closed_ps: u64,
+    dispatched_ps: u64,
+    start_ps: u64,
 }
 
 /// Event kinds, ordered deterministically via (time, seq).
@@ -183,6 +188,16 @@ pub struct ServeRuntime {
     next_parked: u64,
     /// Retry attempts consumed per displaced request.
     attempts: BTreeMap<RequestId, u32>,
+    /// Observability handle; disabled by default (one branch per emit
+    /// site — see [`ServeRuntime::with_telemetry`]).
+    tel: Telemetry,
+    /// When each in-flight request left its admission queue (request id
+    /// → ps); populated only while telemetry is enabled, feeds the
+    /// per-request trace tree emitted at delivery.
+    drained_ps: BTreeMap<u64, u64>,
+    /// Profiling hooks: events handled / batches dispatched.
+    ev_count: Counter,
+    dispatch_count: Counter,
 }
 
 impl ServeRuntime {
@@ -226,6 +241,10 @@ impl ServeRuntime {
             parked: BTreeMap::new(),
             next_parked: 0,
             attempts: BTreeMap::new(),
+            tel: Telemetry::disabled(),
+            drained_ps: BTreeMap::new(),
+            ev_count: Counter::noop(),
+            dispatch_count: Counter::noop(),
             config,
         };
         // Seed the first arrival of every tenant.
@@ -282,6 +301,24 @@ impl ServeRuntime {
                 },
             );
         }
+        self
+    }
+
+    /// Attach an observability handle. With an enabled handle the
+    /// runtime mirrors its metrics onto the shared registry
+    /// (`serve_*` series), counts loop events and dispatches, and
+    /// emits sim-time trace spans: one tree per completed request
+    /// (queue → batch → sched → fiber → engine → fiber) on the
+    /// request track, per-slot service spans on the site track, and
+    /// instant events for sheds, faults, and fallbacks. Call before
+    /// [`ServeRuntime::run`]; a disabled handle (the default) costs one
+    /// branch per emit site.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        let names: Vec<String> = self.config.tenants.iter().map(|t| t.name.clone()).collect();
+        self.metrics = MetricsSink::with_telemetry(&names, tel);
+        self.ev_count = tel.counter("serve_events_total", &Vec::new());
+        self.dispatch_count = tel.counter("serve_dispatches_total", &Vec::new());
         self
     }
 
@@ -349,7 +386,11 @@ impl ServeRuntime {
         let budget = cap.saturating_sub(downstream);
         let drained = self.admission.drain_fair(budget, now);
         let had_queue_left = self.admission.queued() > 0;
+        let tracing = self.tel.is_enabled();
         for req in drained {
+            if tracing {
+                self.drained_ps.insert(req.id.0, now);
+            }
             self.batcher.push(req, now);
         }
         self.batcher.flush_timeouts(now);
@@ -369,11 +410,28 @@ impl ServeRuntime {
         let dispatches = self.scheduler.try_dispatch(now);
         for d in dispatches {
             for (req, reason) in &d.shed {
+                self.note_shed(req, *reason);
                 self.metrics
                     .on_outcome(req.tenant, &Outcome::Shed { reason: *reason });
             }
             if d.batch.is_empty() {
                 continue;
+            }
+            self.dispatch_count.inc();
+            if tracing {
+                self.tel.span_args(
+                    track::SITES,
+                    u64::from(d.node.0) * 64 + d.slot as u64,
+                    "serve",
+                    "engine.batch",
+                    d.start_ps,
+                    d.done_ps,
+                    vec![
+                        ("size".to_string(), d.batch.len().to_string()),
+                        ("node".to_string(), d.node.0.to_string()),
+                        ("slot".to_string(), d.slot.to_string()),
+                    ],
+                );
             }
             self.push_event(
                 d.free_ps,
@@ -400,6 +458,9 @@ impl ServeRuntime {
                     delivered_ps: d.delivered_ps,
                     batch_size: n,
                     per_request_j,
+                    closed_ps: d.batch.closed_ps,
+                    dispatched_ps: now,
+                    start_ps: d.start_ps,
                     requests: d.batch.requests.clone(),
                 },
             );
@@ -423,6 +484,7 @@ impl ServeRuntime {
         }
         // Shed records accumulated inside admission this instant.
         for (req, reason) in self.admission.take_shed() {
+            self.note_shed(&req, reason);
             self.metrics
                 .on_outcome(req.tenant, &Outcome::Shed { reason });
         }
@@ -441,6 +503,9 @@ impl ServeRuntime {
         };
         for req in &p.requests {
             self.attempts.remove(&req.id);
+            if self.tel.is_enabled() {
+                self.trace_request(req, &p);
+            }
             self.metrics.on_outcome(
                 req.tenant,
                 &Outcome::Completed {
@@ -452,8 +517,71 @@ impl ServeRuntime {
         }
     }
 
+    /// Emit one completed request's life as a trace tree: all
+    /// timestamps are known at delivery time, so the whole nest —
+    /// queue, batch-forming, scheduler wait, outbound fiber, engine
+    /// service, return fiber — is emitted at once on the request's own
+    /// track.
+    fn trace_request(&mut self, req: &ComputeRequest, p: &PendingBatch) {
+        let tid = req.id.0;
+        let drained = self
+            .drained_ps
+            .remove(&tid)
+            .unwrap_or(req.arrival_ps)
+            .min(p.closed_ps);
+        self.tel.begin(
+            track::REQUESTS,
+            tid,
+            "serve",
+            "request",
+            req.arrival_ps,
+            vec![("tenant".to_string(), req.tenant.0.to_string())],
+        );
+        let stages = [
+            ("serve.queue", req.arrival_ps, drained),
+            ("serve.batch", drained, p.closed_ps),
+            ("serve.sched", p.closed_ps, p.dispatched_ps),
+            ("fiber.out", p.dispatched_ps, p.start_ps),
+            ("engine.mvm", p.start_ps, p.done_ps),
+            ("fiber.ret", p.done_ps, p.delivered_ps),
+        ];
+        for (name, start, end) in stages {
+            self.tel
+                .span(track::REQUESTS, tid, "serve", name, start, end);
+        }
+        self.tel
+            .end(track::REQUESTS, tid, "serve", "request", p.delivered_ps);
+    }
+
+    /// Telemetry-only record of a shed: drop the request's trace state
+    /// and mark the shed as an instant event on its track.
+    fn note_shed(&mut self, req: &ComputeRequest, reason: ShedReason) {
+        if self.tel.is_enabled() {
+            self.drained_ps.remove(&req.id.0);
+            self.tel.instant(
+                track::REQUESTS,
+                req.id.0,
+                "serve",
+                "shed",
+                self.now_ps,
+                vec![
+                    ("reason".to_string(), format!("{reason:?}")),
+                    ("tenant".to_string(), req.tenant.0.to_string()),
+                ],
+            );
+        }
+    }
+
     /// An injected engine fault transition fires.
     fn handle_site_fault(&mut self, node: NodeId, up: bool) {
+        self.tel.instant(
+            track::NET,
+            u64::from(node.0),
+            "fault",
+            if up { "site.repair" } else { "site.fail" },
+            self.now_ps,
+            vec![("node".to_string(), node.0.to_string())],
+        );
         if up {
             self.scheduler.recover_site(node);
             return;
@@ -469,6 +597,14 @@ impl ServeRuntime {
             .collect();
         for key in lost {
             let p = self.in_service.remove(&key).expect("just listed");
+            self.tel.instant(
+                track::NET,
+                u64::from(node.0),
+                "fault",
+                "batch.abort",
+                self.now_ps,
+                vec![("size".to_string(), p.batch_size.to_string())],
+            );
             for req in p.requests {
                 self.requeue_or_fallback(req);
             }
@@ -518,6 +654,21 @@ impl ServeRuntime {
     /// baseline computes it (correct answer, worse latency and energy),
     /// or — with no fallback configured — it sheds as `EngineFailed`.
     fn finish_degraded(&mut self, req: ComputeRequest) {
+        if self.tel.is_enabled() {
+            self.drained_ps.remove(&req.id.0);
+            self.tel.instant(
+                track::REQUESTS,
+                req.id.0,
+                "fault",
+                if self.fallback.is_some() {
+                    "fallback.digital"
+                } else {
+                    "shed"
+                },
+                self.now_ps,
+                vec![("tenant".to_string(), req.tenant.0.to_string())],
+            );
+        }
         match &self.fallback {
             Some(model) => {
                 let macs = u64::from(req.operand_len);
@@ -564,6 +715,7 @@ impl ServeRuntime {
         }
         // QueueFull sheds recorded at offer time still surface.
         for (req, reason) in self.admission.take_shed() {
+            self.note_shed(&req, reason);
             self.metrics
                 .on_outcome(req.tenant, &Outcome::Shed { reason });
         }
@@ -573,6 +725,7 @@ impl ServeRuntime {
     pub fn run(mut self) -> ServeReport {
         let end_ps = self.config.horizon_ps + self.config.drain_grace_ps;
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            self.ev_count.inc();
             if t > end_ps {
                 // Past the drain window no new work starts, but results
                 // already dispatched are light in the fiber — their
@@ -773,6 +926,74 @@ mod tests {
             report.arrivals,
             report.completed + report.shed + report.degraded + report.unfinished
         );
+    }
+
+    #[test]
+    fn mid_flight_fault_aborts_computing_batches_but_spares_egressed_results() {
+        // Two sites so the displaced work still has survivors to retry
+        // on; the fault hits site 1 while three batches are pending.
+        let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+        let sites = vec![
+            SiteSpec {
+                node: NodeId(1),
+                slots: 2,
+                access_ps: 100_000,
+            },
+            SiteSpec {
+                node: NodeId(2),
+                slots: 2,
+                access_ps: 100_000,
+            },
+        ];
+        let mut rt = ServeRuntime::new(small_config(500_000.0), model, sites);
+        rt.now_ps = 1_000_000;
+        let req = |id: u64| ComputeRequest {
+            id: RequestId(id),
+            tenant: TenantId(0),
+            primitive: Primitive::VectorDotProduct,
+            operand_len: 2048,
+            arrival_ps: 0,
+            deadline_ps: u64::MAX,
+        };
+        let pending = |node: NodeId, done_ps: u64, ids: &[u64]| PendingBatch {
+            node,
+            done_ps,
+            delivered_ps: done_ps + 100_000,
+            batch_size: ids.len() as u32,
+            per_request_j: 0.0,
+            requests: ids.iter().map(|&i| req(i)).collect(),
+            closed_ps: 0,
+            dispatched_ps: 0,
+            start_ps: 0,
+        };
+        // Batch 0 finished computing before the fault: its results
+        // already egressed and are light in the return fiber. Batch 1 is
+        // still on the failing engine; batch 2 runs at the other site.
+        rt.in_service
+            .insert(0, pending(NodeId(1), 900_000, &[1, 2]));
+        rt.in_service.insert(1, pending(NodeId(1), 1_500_000, &[3]));
+        rt.in_service.insert(2, pending(NodeId(2), 1_500_000, &[4]));
+        rt.handle_site_fault(NodeId(1), false);
+        assert!(
+            rt.in_service.contains_key(&0),
+            "egressed results must survive the engine fault"
+        );
+        assert!(
+            !rt.in_service.contains_key(&1),
+            "batch still computing at the fault must abort"
+        );
+        assert!(
+            rt.in_service.contains_key(&2),
+            "batches at healthy sites are untouched"
+        );
+        // The aborted batch's member is parked for a retry on the
+        // surviving site, never silently dropped.
+        assert_eq!(rt.parked.len(), 1);
+        assert_eq!(rt.parked.values().next().unwrap().id, RequestId(3));
+        // The surviving results still deliver after the site died.
+        rt.now_ps = 1_000_000;
+        rt.handle_deliver(0);
+        assert!(!rt.in_service.contains_key(&0));
     }
 
     #[test]

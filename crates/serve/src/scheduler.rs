@@ -494,6 +494,42 @@ mod tests {
     }
 
     #[test]
+    fn edf_dispatch_with_every_deadline_expired_sheds_everything() {
+        let mut s = Scheduler::new(model(), one_site());
+        // Three queued batches whose members have all missed their
+        // deadlines by dispatch time. EDF must still drain them — in
+        // deadline order — as explicit sheds, never burning a slot or a
+        // joule on work that cannot be delivered in time.
+        s.enqueue(batch(&[1, 2], 5_000, 0));
+        s.enqueue(batch(&[3], 2_000, 0));
+        s.enqueue(batch(&[4, 5, 6], 8_000, 0));
+        let now = 10_000;
+        let d = s.try_dispatch(now);
+        assert_eq!(d.len(), 3, "each batch yields a (hopeless) dispatch");
+        assert!(
+            d[0].shed.iter().any(|(r, _)| r.id == RequestId(3)),
+            "earliest deadline drains first even when hopeless"
+        );
+        for disp in &d {
+            assert!(disp.batch.is_empty(), "no expired request may run");
+            assert_eq!(disp.service_ps, 0);
+            assert_eq!(disp.energy.total_j(), 0.0);
+            assert!(disp
+                .shed
+                .iter()
+                .all(|(_, reason)| *reason == ShedReason::DeadlineExpiredServing));
+        }
+        let shed: usize = d.iter().map(|x| x.shed.len()).sum();
+        assert_eq!(shed, 6, "every member accounted for");
+        assert_eq!(s.backlog_requests(), 0);
+        // Nothing actually ran: the slot is still idle and the dispatch
+        // counters did not move.
+        assert_eq!(s.idle_slots(now), 1);
+        assert_eq!(s.batches_dispatched, 0);
+        assert_eq!(s.requests_dispatched, 0);
+    }
+
+    #[test]
     fn inventory_mirrors_activity() {
         let mut s = Scheduler::new(model(), one_site());
         assert_eq!(s.inventory().available_at(NodeId(1), 0), 1);

@@ -32,6 +32,7 @@ use ofpc_photonics::modulator::{MachZehnderModulator, MzmConfig};
 use ofpc_photonics::photodetector::{Photodetector, PhotodetectorConfig};
 use ofpc_photonics::signal::{AnalogWaveform, OpticalField};
 use ofpc_photonics::SimRng;
+use ofpc_telemetry::{Counter, Telemetry};
 
 /// The operation loaded into a transponder's photonic engine. The
 /// centralized controller installs these (§3); the op's wire tag must
@@ -186,6 +187,9 @@ pub struct PhotonicComputeTransponder {
     pub frames_processed: u64,
     pub computations_run: u64,
     pub result_readouts: u64,
+    tel_frames: Counter,
+    tel_computations: Counter,
+    tel_readouts: Counter,
 }
 
 impl PhotonicComputeTransponder {
@@ -212,7 +216,22 @@ impl PhotonicComputeTransponder {
             frames_processed: 0,
             computations_run: 0,
             result_readouts: 0,
+            tel_frames: Counter::noop(),
+            tel_computations: Counter::noop(),
+            tel_readouts: Counter::noop(),
         }
+    }
+
+    /// Profiling hook: mirror the frame/computation/readout counters (and
+    /// the TX/RX path counters) onto a [`MetricsRegistry`][reg].
+    ///
+    /// [reg]: ofpc_telemetry::MetricsRegistry
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tx.set_telemetry(tel);
+        self.rx.set_telemetry(tel);
+        self.tel_frames = tel.counter("transponder_frames_total", &Vec::new());
+        self.tel_computations = tel.counter("transponder_computations_total", &Vec::new());
+        self.tel_readouts = tel.counter("transponder_result_readouts_total", &Vec::new());
     }
 
     /// Ideal device with loopback calibration.
@@ -321,6 +340,7 @@ impl PhotonicComputeTransponder {
         let pos = pass(&rails[0], &|w: f64| w.clamp(0.0, 1.0));
         let neg = pass(&rails[1], &|w: f64| (-w).clamp(0.0, 1.0));
         self.result_readouts += 1;
+        self.tel_readouts.inc();
         2.0 * (pos - neg) / unit
     }
 
@@ -334,6 +354,7 @@ impl PhotonicComputeTransponder {
         let off = Frame::find_preamble(&bits).ok_or(FrameError::BadPreamble(0))?;
         let (mut frame, consumed) = Frame::from_bits(&bits[off..])?;
         self.frames_processed += 1;
+        self.tel_frames.inc();
         let mut computed = None;
         let mut latency = self.config.engine_latency_s;
         if frame.is_compute() {
@@ -362,6 +383,7 @@ impl PhotonicComputeTransponder {
                         };
                         computed = Some(result);
                         self.computations_run += 1;
+                        self.tel_computations.inc();
                     }
                 }
             }

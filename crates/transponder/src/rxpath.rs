@@ -11,6 +11,7 @@ use ofpc_photonics::energy::{constants, EnergyLedger};
 use ofpc_photonics::photodetector::{Photodetector, PhotodetectorConfig};
 use ofpc_photonics::signal::OpticalField;
 use ofpc_photonics::SimRng;
+use ofpc_telemetry::{Counter, Telemetry};
 
 /// Receive-path configuration.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -51,6 +52,8 @@ pub struct RxPath {
     /// Decision threshold in amps (midpoint of calibrated 0/1 currents).
     threshold_a: Option<f64>,
     pub bits_received: u64,
+    tel_blocks: Counter,
+    tel_bits: Counter,
 }
 
 impl RxPath {
@@ -61,7 +64,16 @@ impl RxPath {
             config,
             threshold_a: None,
             bits_received: 0,
+            tel_blocks: Counter::noop(),
+            tel_bits: Counter::noop(),
         }
+    }
+
+    /// Profiling hook: count received blocks/bits on the registry
+    /// (`transponder_rx_*` series).
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel_blocks = tel.counter("transponder_rx_blocks_total", &Vec::new());
+        self.tel_bits = tel.counter("transponder_rx_bits_total", &Vec::new());
     }
 
     pub fn is_calibrated(&self) -> bool {
@@ -88,6 +100,8 @@ impl RxPath {
         let _codes = self.adc.convert(&current);
         let bits: Vec<bool> = current.samples.iter().map(|&i| i > threshold).collect();
         self.bits_received += bits.len() as u64;
+        self.tel_blocks.inc();
+        self.tel_bits.add(bits.len() as u64);
         bits
     }
 

@@ -11,6 +11,7 @@ use ofpc_photonics::laser::{Laser, LaserConfig};
 use ofpc_photonics::modulator::{MachZehnderModulator, MzmConfig};
 use ofpc_photonics::signal::{AnalogWaveform, OpticalField};
 use ofpc_photonics::SimRng;
+use ofpc_telemetry::{Counter, Telemetry};
 
 /// Transmit-path configuration.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -64,6 +65,8 @@ pub struct TxPath {
     mzm: MachZehnderModulator,
     dac: Dac,
     pub bits_sent: u64,
+    tel_blocks: Counter,
+    tel_bits: Counter,
 }
 
 impl TxPath {
@@ -74,7 +77,16 @@ impl TxPath {
             dac: Dac::new(config.dac.clone(), rng.derive("tx-dac")),
             config,
             bits_sent: 0,
+            tel_blocks: Counter::noop(),
+            tel_bits: Counter::noop(),
         }
+    }
+
+    /// Profiling hook: count transmitted blocks/bits on the registry
+    /// (`transponder_tx_*` series).
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel_blocks = tel.counter("transponder_tx_blocks_total", &Vec::new());
+        self.tel_bits = tel.counter("transponder_tx_bits_total", &Vec::new());
     }
 
     /// Modulate a bit sequence onto light, one sample per bit (OOK).
@@ -96,6 +108,8 @@ impl TxPath {
         );
         let out = self.mzm.modulate(&light, &drive);
         self.bits_sent += n as u64;
+        self.tel_blocks.inc();
+        self.tel_bits.add(n as u64);
         out
     }
 

@@ -19,6 +19,7 @@
 //! carrying garbage results.
 
 use crate::ber::q_to_ber;
+use ofpc_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Engine health as judged by the watchdog.
@@ -88,6 +89,7 @@ pub struct EngineWatchdog {
     loss_of_light: bool,
     /// How many times the watchdog has tripped over its lifetime.
     pub trips: u64,
+    tel_trips: Counter,
 }
 
 impl EngineWatchdog {
@@ -103,7 +105,13 @@ impl EngineWatchdog {
             tripped: false,
             loss_of_light: false,
             trips: 0,
+            tel_trips: Counter::noop(),
         }
+    }
+
+    /// Profiling hook: mirror trips onto `watchdog_trips_total`.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel_trips = tel.counter("watchdog_trips_total", &Vec::new());
     }
 
     /// Feed one BER sample; returns the resulting health.
@@ -127,6 +135,7 @@ impl EngineWatchdog {
             if !self.tripped && self.violations >= self.cfg.trip_after {
                 self.tripped = true;
                 self.trips += 1;
+                self.tel_trips.inc();
             }
         } else {
             self.violations = 0;
@@ -255,6 +264,93 @@ mod tests {
         // Light restored (e.g. protection switch to the backup path).
         assert_eq!(w.observe_power(1e-3), Health::Healthy);
         assert!(w.health().usable());
+    }
+
+    #[test]
+    fn exactly_at_trip_bound_never_trips() {
+        // The violation test is strict (`ber > ber_trip`): an engine
+        // sitting *exactly* on the alarm bound is marginal-but-usable,
+        // not failed. Only crossing the bound counts.
+        let cfg = WatchdogConfig::default();
+        let mut w = EngineWatchdog::new(cfg);
+        for _ in 0..cfg.trip_after * 10 {
+            let h = w.observe_ber(cfg.ber_trip);
+            assert!(h.usable(), "at-bound sample must stay usable, got {h:?}");
+        }
+        assert_eq!(w.trips, 0);
+        // EWMA sits at the bound, well past the warning zone.
+        assert_eq!(w.health(), Health::Degraded);
+    }
+
+    #[test]
+    fn infinitesimally_above_bound_trips_after_debounce() {
+        let cfg = WatchdogConfig::default();
+        let mut w = EngineWatchdog::new(cfg);
+        let above = cfg.ber_trip * (1.0 + 1e-12);
+        for i in 1..=cfg.trip_after {
+            let h = w.observe_ber(above);
+            if i < cfg.trip_after {
+                assert!(
+                    h.usable(),
+                    "violation {i} of {} must not trip",
+                    cfg.trip_after
+                );
+            } else {
+                assert_eq!(h, Health::Unhealthy, "trip exactly at the debounce count");
+            }
+        }
+        assert_eq!(w.trips, 1);
+    }
+
+    #[test]
+    fn at_bound_samples_reset_the_violation_run() {
+        // trip_after-1 violations followed by an exactly-at-bound sample:
+        // the run resets, so the next violation starts a fresh count.
+        let cfg = WatchdogConfig::default();
+        let mut w = EngineWatchdog::new(cfg);
+        let above = cfg.ber_trip * 1.001;
+        for _ in 0..cfg.trip_after - 1 {
+            w.observe_ber(above);
+        }
+        w.observe_ber(cfg.ber_trip); // at the bound: clean
+        for _ in 0..cfg.trip_after - 1 {
+            w.observe_ber(above);
+        }
+        assert!(w.health().usable(), "interrupted runs must not accumulate");
+        assert_eq!(w.trips, 0);
+    }
+
+    #[test]
+    fn recovery_hysteresis_does_not_flap() {
+        // A marginal engine oscillating near the bound after a trip:
+        // every violation restarts the clean run, so the watchdog stays
+        // Unhealthy rather than flapping in and out of service.
+        let cfg = WatchdogConfig::default();
+        let mut w = EngineWatchdog::new(cfg);
+        for _ in 0..cfg.trip_after {
+            w.observe_ber(1e-3);
+        }
+        assert_eq!(w.health(), Health::Unhealthy);
+        for _cycle in 0..10 {
+            for _ in 0..cfg.clear_after - 1 {
+                w.observe_ber(1e-12);
+            }
+            w.observe_ber(1e-3); // one excursion short of re-arming
+            assert_eq!(w.health(), Health::Unhealthy, "must not flap usable");
+        }
+        assert_eq!(w.trips, 1, "still the one original trip");
+        // A genuinely repaired engine re-arms after a sustained clean run
+        // and then needs a *full* fresh debounce to trip again.
+        for _ in 0..cfg.clear_after {
+            w.observe_ber(1e-12);
+        }
+        assert_eq!(w.health(), Health::Healthy);
+        w.observe_ber(1e-3);
+        assert!(
+            w.health().usable(),
+            "one post-recovery glitch must not re-trip"
+        );
+        assert_eq!(w.trips, 1);
     }
 
     #[test]
