@@ -38,6 +38,13 @@ run_no_warnings cargo test --offline --test faults -q
 echo "==> telemetry overhead gate (disabled handle within noise of baseline)"
 run_no_warnings cargo bench --offline -q -p ofpc-bench --bench telemetry_overhead
 
+echo "==> core kernel benches (dot product, network sim)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench dot_product
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench network_sim
+
+echo "==> parallel scaling & sequential regression gate (BENCH_BASELINE.json)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench par_scaling
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

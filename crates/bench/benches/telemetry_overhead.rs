@@ -7,9 +7,30 @@
 //! indistinguishable from one that never heard of telemetry. The
 //! vendored criterion stand-in reports means but exposes no statistics
 //! to assert on, so alongside the criterion groups this bench
-//! self-measures interleaved trials of both variants and **fails** if
-//! the disabled-telemetry median falls outside the baseline's noise
-//! band (2% + the baseline's own inter-quartile spread).
+//! self-measures and **fails** if disabled telemetry costs real time.
+//!
+//! # The gate (and why it is shaped this way)
+//!
+//! The old gate compared one pass of medians against `base·1.02 + IQR`
+//! and flaked: on a busy 1-core CI box a single noisy window skews both
+//! the median and the IQR of the same pass, and an absolute time band
+//! derived from that one pass has no defense against it. The current
+//! gate is a **ratio of medians over [`REPS`] independent
+//! repetitions**:
+//!
+//! 1. each repetition interleaves [`TRIALS_PER_REP`] trials of both
+//!    variants (alternating order, so slow clock drift cancels) and
+//!    reduces each variant to its within-repetition median;
+//! 2. the repetition's score is the dimensionless ratio
+//!    `median(disabled) / median(baseline)`;
+//! 3. the gate fires only if the **median of the repetition ratios**
+//!    exceeds [`MAX_RATIO`].
+//!
+//! A transient stall now has to corrupt a majority of repetitions —
+//! each separated by full scheduling quanta — before the gate misfires,
+//! while a genuine per-hook cost shifts every repetition's ratio the
+//! same way and is still caught. The 5% headroom is far above the
+//! per-hook branch cost observed on an idle machine (<0.5%).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ofpc_engine::Primitive;
@@ -24,7 +45,13 @@ use std::time::Instant;
 
 const HORIZON_PS: u64 = 500_000_000; // 0.5 ms of virtual time
 const RATE_RPS: f64 = 8_000_000.0;
-const TRIALS: usize = 15;
+/// Independent repetitions; the gate takes the median of their ratios.
+const REPS: usize = 5;
+/// Interleaved trials per variant within one repetition.
+const TRIALS_PER_REP: usize = 5;
+/// Fail if the median over repetitions of
+/// `median(disabled) / median(baseline)` exceeds this.
+const MAX_RATIO: f64 = 1.05;
 
 fn config() -> ServeConfig {
     ServeConfig {
@@ -98,48 +125,45 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn quartile_spread(sorted: &[f64]) -> f64 {
-    sorted[(sorted.len() * 3) / 4] - sorted[sorted.len() / 4]
+/// One repetition: interleave [`TRIALS_PER_REP`] trials of each variant
+/// and return `median(disabled) / median(baseline)`.
+fn overhead_ratio(disabled: &Telemetry) -> f64 {
+    let mut base = Vec::with_capacity(TRIALS_PER_REP);
+    let mut dis = Vec::with_capacity(TRIALS_PER_REP);
+    for trial in 0..TRIALS_PER_REP {
+        // Alternate order so slow-drift bias cancels.
+        if trial % 2 == 0 {
+            base.push(time_run(None));
+            dis.push(time_run(Some(disabled)));
+        } else {
+            dis.push(time_run(Some(disabled)));
+            base.push(time_run(None));
+        }
+    }
+    median(&mut dis) / median(&mut base)
 }
 
-/// The asserting half: interleaved trials so clock drift and cache state
-/// hit both variants equally, medians so one preempted trial cannot
-/// fake a regression.
+/// The asserting half: median over [`REPS`] repetitions of the
+/// per-repetition ratio of medians (see the module header for why).
 fn assert_disabled_telemetry_is_free() {
     let disabled = Telemetry::disabled();
     // Warm both paths (first run pays allocator and page-cache costs).
     time_run(None);
     time_run(Some(&disabled));
-    let mut base = Vec::with_capacity(TRIALS);
-    let mut dis = Vec::with_capacity(TRIALS);
-    for trial in 0..TRIALS {
-        // Alternate order so slow-drift bias cancels.
-        if trial % 2 == 0 {
-            base.push(time_run(None));
-            dis.push(time_run(Some(&disabled)));
-        } else {
-            dis.push(time_run(Some(&disabled)));
-            base.push(time_run(None));
-        }
-    }
-    let m_base = median(&mut base);
-    let m_dis = median(&mut dis);
-    let noise = quartile_spread(&base);
-    let bound = m_base * 1.02 + noise;
+    let mut ratios: Vec<f64> = (0..REPS).map(|_| overhead_ratio(&disabled)).collect();
+    let m = median(&mut ratios);
     println!(
-        "telemetry_overhead: baseline {:.3} ms, disabled-telemetry {:.3} ms \
-         (bound {:.3} ms = base +2% + IQR {:.3} ms)",
-        m_base * 1e3,
-        m_dis * 1e3,
-        bound * 1e3,
-        noise * 1e3,
+        "telemetry_overhead: per-repetition ratios {:?} -> median {m:.4} (gate {MAX_RATIO})",
+        ratios
+            .iter()
+            .map(|r| (r * 1e4).round() / 1e4)
+            .collect::<Vec<_>>(),
     );
     assert!(
-        m_dis <= bound,
-        "disabled telemetry must be within noise of the bare serve path: \
-         {:.3} ms vs bound {:.3} ms",
-        m_dis * 1e3,
-        bound * 1e3,
+        m <= MAX_RATIO,
+        "disabled telemetry must be within {:.0}% of the bare serve path: \
+         median ratio {m:.4} over {REPS} repetitions",
+        (MAX_RATIO - 1.0) * 100.0,
     );
 }
 

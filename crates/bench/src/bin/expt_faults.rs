@@ -30,6 +30,7 @@ use ofpc_net::packet::Packet;
 use ofpc_net::pch::PchHeader;
 use ofpc_net::sim::{Network, OpSpec};
 use ofpc_net::{NodeId, Topology};
+use ofpc_par::WorkerPool;
 use ofpc_photonics::SimRng;
 use ofpc_serve::{
     ArrivalSpec, BatchPolicy, EngineFaultEvent, ServeConfig, ServeReport, ServeRuntime, TenantSpec,
@@ -330,12 +331,15 @@ fn serve_under_faults(fallback: bool) -> ServeReport {
 
 fn main() {
     // --- E13a: availability vs MTBF ---
+    // Each MTBF point replays its own seeded fault plan against its own
+    // copy of the system: independent scenarios, scattered across the
+    // pool with rows gathered in sweep order.
+    let pool = WorkerPool::from_env();
     let horizon_ps = 2_000_000_000_000; // 2 s of virtual time
     let mtbf_ms = [20.0_f64, 80.0, 320.0, 1_280.0];
-    let avail: Vec<AvailRow> = mtbf_ms
-        .iter()
-        .map(|&m| availability_run((m * 1e9) as u64, horizon_ps))
-        .collect();
+    let avail: Vec<AvailRow> = pool.scatter_gather("e13a-mtbf", mtbf_ms.to_vec(), |_, m| {
+        availability_run((m * 1e9) as u64, horizon_ps)
+    });
 
     let mut t = Table::new(
         "E13a — availability vs MTBF (2 s horizon, MTTR 20 ms)",
@@ -413,9 +417,8 @@ fn main() {
     assert!(cut.ttr_us <= cut.ttr_bound_us, "TTR exceeds bound");
 
     // --- E13c: graceful digital fallback ---
-    let rows: Vec<FallbackRow> = [false, true]
-        .iter()
-        .map(|&fb| {
+    let rows: Vec<FallbackRow> =
+        pool.scatter_gather("e13c-fallback", vec![false, true], |_, fb| {
             let report = serve_under_faults(fb);
             FallbackRow {
                 fallback: fb,
@@ -430,8 +433,7 @@ fn main() {
                 energy_total_j: report.energy_total_j,
                 report,
             }
-        })
-        .collect();
+        });
 
     let mut t = Table::new(
         "E13c — engine outage: digital fallback vs shedding",

@@ -22,6 +22,7 @@ use ofpc_bench::table::{dump_json, Table};
 use ofpc_core::OnFiberNetwork;
 use ofpc_engine::Primitive;
 use ofpc_net::{NodeId, Topology};
+use ofpc_par::WorkerPool;
 use ofpc_serve::{
     ArrivalSpec, BatchClass, BatchPolicy, ServeConfig, ServeReport, ServeRuntime, ServiceModel,
     TenantSpec,
@@ -138,27 +139,34 @@ fn main() {
     );
 
     let fracs = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
-    let mut rows = Vec::new();
+    // Every (batching, load) point is an independent seeded scenario:
+    // scatter the grid across the pool and gather rows in grid order,
+    // byte-identical to the old sequential loop (OFPC_WORKERS=1).
+    let mut grid: Vec<(bool, f64)> = Vec::new();
     for &batching in &[true, false] {
         for &f in &fracs {
-            let offered = f * knee;
-            let report = run(offered, batching);
-            rows.push(E12Row {
-                load_frac: f,
-                offered_rps: offered,
-                batching,
-                goodput_rps: report.goodput_rps,
-                shed_rate: report.shed_rate,
-                p50_latency_us: report.p50_latency_us,
-                p99_latency_us: report.p99_latency_us,
-                p999_latency_us: report.p999_latency_us,
-                mean_batch_occupancy: report.mean_batch_occupancy,
-                joules_per_completed: report.joules_per_completed,
-                verify_mean_abs_error: report.verify_mean_abs_error,
-                report,
-            });
+            grid.push((batching, f));
         }
     }
+    let pool = WorkerPool::from_env();
+    let rows: Vec<E12Row> = pool.scatter_gather("e12-sweep", grid, |_, (batching, f)| {
+        let offered = f * knee;
+        let report = run(offered, batching);
+        E12Row {
+            load_frac: f,
+            offered_rps: offered,
+            batching,
+            goodput_rps: report.goodput_rps,
+            shed_rate: report.shed_rate,
+            p50_latency_us: report.p50_latency_us,
+            p99_latency_us: report.p99_latency_us,
+            p999_latency_us: report.p999_latency_us,
+            mean_batch_occupancy: report.mean_batch_occupancy,
+            joules_per_completed: report.joules_per_completed,
+            verify_mean_abs_error: report.verify_mean_abs_error,
+            report,
+        }
+    });
 
     for batching in [true, false] {
         let mut t = Table::new(

@@ -27,6 +27,7 @@ use ofpc_engine::Primitive;
 use ofpc_faults::{trace_recovery, Orchestrator};
 use ofpc_net::sim::OpSpec;
 use ofpc_net::{NodeId, Topology};
+use ofpc_par::WorkerPool;
 use ofpc_serve::{
     ArrivalSpec, BatchClass, BatchPolicy, EngineFaultEvent, ServeConfig, ServeReport, ServeRuntime,
     ServiceModel, TenantSpec,
@@ -336,12 +337,22 @@ struct E14Summary {
 
 fn main() {
     // --- E12 replay: instrumented twice (replay determinism) and once
-    // bare (telemetry must not perturb the simulation). ---
-    let tel_a = Telemetry::enabled();
-    let report_a = run_e12(Some(&tel_a));
-    let tel_b = Telemetry::enabled();
-    let report_b = run_e12(Some(&tel_b));
-    let baseline = run_e12(None);
+    // bare (telemetry must not perturb the simulation). The three runs
+    // are independent seeded scenarios, so they scatter across the pool;
+    // validation happens on this thread from the gathered handles. ---
+    let pool = WorkerPool::from_env();
+    let mut e12 = pool.scatter_gather("e14-e12", vec![true, true, false], |_, instrument| {
+        let tel = instrument.then(Telemetry::enabled);
+        let report = run_e12(tel.as_ref());
+        (report, tel)
+    });
+    let (baseline, _) = e12.pop().expect("three E12 runs");
+    let (report_b, tel_b) = e12.pop().expect("three E12 runs");
+    let (report_a, tel_a) = e12.pop().expect("three E12 runs");
+    let (tel_a, tel_b) = (
+        tel_a.expect("first run instrumented"),
+        tel_b.expect("second run instrumented"),
+    );
 
     let trace_a = tel_a.chrome_trace_json();
     assert_eq!(

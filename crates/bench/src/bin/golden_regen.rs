@@ -1,0 +1,26 @@
+//! Regenerate the golden-replay fixtures under `results/golden/`.
+//!
+//! Run from the repo root after an intentional behavior change:
+//!
+//! ```text
+//! cargo run -p ofpc-bench --bin golden_regen
+//! ```
+//!
+//! then review the fixture diff like any other code change. The
+//! fixtures are byte-deterministic, so an unexpected diff means the
+//! serving/fault/telemetry stacks changed behavior.
+
+use ofpc_bench::golden;
+use ofpc_par::WorkerPool;
+
+fn main() {
+    let dir = std::path::Path::new("results/golden");
+    std::fs::create_dir_all(dir).expect("create results/golden");
+    let pool = WorkerPool::from_env();
+    for (name, generate) in golden::cases() {
+        let json = generate(&pool);
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, &json).expect("write fixture");
+        println!("wrote {} ({} bytes)", path.display(), json.len());
+    }
+}

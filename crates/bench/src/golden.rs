@@ -1,0 +1,235 @@
+//! Miniature replicas of the E12/E13/E14 experiment scenarios for the
+//! golden-replay regression suite and the parallel differential tests.
+//!
+//! Each `*_mini` function is a scaled-down (µs-horizon) version of the
+//! corresponding harness sweep, returning the result as pretty-printed
+//! JSON. The contract, enforced by `tests/golden.rs` against the pinned
+//! fixtures under `results/golden/` and by `tests/parallel.rs` across
+//! worker counts:
+//!
+//! * the bytes are a pure function of the scenario — same fixture on
+//!   every run, every machine, every `OFPC_WORKERS` setting;
+//! * any behavioral drift in the serving/fault/telemetry stacks shows
+//!   up as a fixture diff, reviewed like any other golden change
+//!   (regenerate with `cargo run -p ofpc-bench --bin golden_regen`).
+
+use ofpc_par::WorkerPool;
+use ofpc_serve::{
+    run_sweep, ArrivalSpec, BatchPolicy, EngineFaultEvent, ServeConfig, SweepScenario, TenantSpec,
+};
+use ofpc_telemetry::{validate_balanced, Telemetry};
+use serde::Serialize;
+
+const OPERAND_LEN: usize = 512;
+
+fn mini_config(seed: u64, total_rps: f64, batching: bool) -> ServeConfig {
+    ServeConfig {
+        seed,
+        horizon_ps: 100_000_000, // 100 µs of arrivals
+        drain_grace_ps: 100_000_000,
+        batch: if batching {
+            BatchPolicy {
+                max_batch: 8,
+                max_wait_ps: 2_000_000,
+            }
+        } else {
+            BatchPolicy::disabled()
+        },
+        tenants: vec![
+            TenantSpec {
+                name: "steady".to_string(),
+                weight: 3,
+                queue_capacity: 48,
+                arrivals: ArrivalSpec::Poisson {
+                    rate_rps: total_rps * 0.75,
+                },
+                primitive: ofpc_engine::Primitive::VectorDotProduct,
+                operand_len: OPERAND_LEN,
+                deadline_ps: 400_000_000,
+            },
+            TenantSpec {
+                name: "bursty".to_string(),
+                weight: 1,
+                queue_capacity: 16,
+                arrivals: ArrivalSpec::Mmpp {
+                    calm_rps: total_rps * 0.125,
+                    burst_rps: total_rps * 1.125,
+                    mean_calm_s: 20e-6,
+                    mean_burst_s: 5e-6,
+                },
+                primitive: ofpc_engine::Primitive::VectorDotProduct,
+                operand_len: OPERAND_LEN,
+                deadline_ps: 400_000_000,
+            },
+        ],
+        verify_every: 64,
+    }
+}
+
+/// The E13c-style double-site outage window, scaled to the µs horizon.
+fn mini_outage() -> Vec<EngineFaultEvent> {
+    vec![
+        EngineFaultEvent {
+            at_ps: 25_000_000,
+            node: ofpc_net::NodeId(1),
+            up: false,
+        },
+        EngineFaultEvent {
+            at_ps: 40_000_000,
+            node: ofpc_net::NodeId(2),
+            up: false,
+        },
+        EngineFaultEvent {
+            at_ps: 60_000_000,
+            node: ofpc_net::NodeId(2),
+            up: true,
+        },
+        EngineFaultEvent {
+            at_ps: 75_000_000,
+            node: ofpc_net::NodeId(1),
+            up: true,
+        },
+    ]
+}
+
+/// Mini E12: the serving knee in miniature — 2 batching modes × 3 load
+/// points on the metro deployment.
+pub fn e12_mini(pool: &WorkerPool) -> String {
+    let mut scenarios = Vec::new();
+    for &batching in &[true, false] {
+        for &rps in &[1.5e6, 4e6, 8e6] {
+            scenarios.push(SweepScenario::metro(
+                &format!("e12-{}-{}", batching, rps as u64),
+                12,
+                4,
+                mini_config(12, rps, batching),
+            ));
+        }
+    }
+    let reports = run_sweep(pool, scenarios);
+    serde_json::to_string_pretty(&reports).expect("reports serialize")
+}
+
+/// Mini E13: the engine-outage window replayed with and without the
+/// digital fallback.
+pub fn e13_mini(pool: &WorkerPool) -> String {
+    let scenarios: Vec<SweepScenario> = [false, true]
+        .iter()
+        .map(|&fallback| {
+            let mut s = SweepScenario::metro(
+                &format!("e13-fallback-{fallback}"),
+                13,
+                4,
+                mini_config(13, 6e6, true),
+            );
+            s.engine_faults = mini_outage();
+            s.digital_fallback = fallback;
+            s
+        })
+        .collect();
+    let reports = run_sweep(pool, scenarios);
+    serde_json::to_string_pretty(&reports).expect("reports serialize")
+}
+
+#[derive(Debug, Serialize)]
+struct E14Mini {
+    report: ofpc_serve::ServeReport,
+    trace_events: usize,
+    trace_spans: usize,
+    metrics: ofpc_telemetry::MetricsSnapshot,
+}
+
+/// Mini E14: one instrumented replay of the mini fault scenario — the
+/// report, the balanced-span count, and the full metrics snapshot.
+/// Runs the scenario twice through the pool (instrumented + bare) and
+/// asserts telemetry perturbed nothing before snapshotting.
+pub fn e14_mini(pool: &WorkerPool) -> String {
+    let mut scenario = SweepScenario::metro("e14", 14, 4, mini_config(14, 6e6, true));
+    scenario.engine_faults = mini_outage();
+    scenario.digital_fallback = true;
+    let runs = pool.scatter_gather("e14-mini", vec![true, false], |_, instrument| {
+        let tel = instrument.then(Telemetry::enabled);
+        let report = match &tel {
+            Some(tel) => scenario.run_with_telemetry(tel),
+            None => scenario.run(),
+        };
+        (report, tel)
+    });
+    let [(report, tel), (bare_report, _)] = <[_; 2]>::try_from(runs).expect("two runs");
+    let tel = tel.expect("first run instrumented");
+    assert_eq!(
+        serde_json::to_string(&report).expect("report serializes"),
+        serde_json::to_string(&bare_report).expect("report serializes"),
+        "telemetry must not perturb the mini scenario"
+    );
+    let events = tel.trace_events();
+    let spans = validate_balanced(&events).expect("mini trace must balance");
+    serde_json::to_string_pretty(&E14Mini {
+        report,
+        trace_events: events.len(),
+        trace_spans: spans,
+        metrics: tel.snapshot(),
+    })
+    .expect("summary serializes")
+}
+
+/// A named golden-fixture generator.
+pub type GoldenCase = (&'static str, fn(&WorkerPool) -> String);
+
+/// The golden fixture set: `(name, generator)` in fixture order.
+pub fn cases() -> Vec<GoldenCase> {
+    vec![
+        ("e12_mini", e12_mini as fn(&WorkerPool) -> String),
+        ("e13_mini", e13_mini),
+        ("e14_mini", e14_mini),
+    ]
+}
+
+/// First-divergence diff between a fixture and a regenerated document:
+/// `None` when identical, otherwise a readable report naming the first
+/// differing line with two lines of context on each side.
+pub fn first_divergence(name: &str, golden: &str, current: &str) -> Option<String> {
+    if golden == current {
+        return None;
+    }
+    let g: Vec<&str> = golden.lines().collect();
+    let c: Vec<&str> = current.lines().collect();
+    let mut line = 0;
+    while line < g.len() && line < c.len() && g[line] == c[line] {
+        line += 1;
+    }
+    let mut out = format!(
+        "golden fixture {name:?} drifted at line {} ({} golden lines, {} current)\n",
+        line + 1,
+        g.len(),
+        c.len()
+    );
+    let lo = line.saturating_sub(2);
+    for (label, side) in [("golden ", &g), ("current", &c)] {
+        for (i, text) in side.iter().enumerate().take(line + 3).skip(lo) {
+            let marker = if i == line { ">" } else { " " };
+            out.push_str(&format!("{marker} {label} {:>5} | {text}\n", i + 1));
+        }
+    }
+    out.push_str("regenerate with: cargo run -p ofpc-bench --bin golden_regen\n");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_reports_first_differing_line() {
+        assert!(first_divergence("x", "a\nb\nc", "a\nb\nc").is_none());
+        let diff = first_divergence("x", "a\nb\nc", "a\nB\nc").expect("differs");
+        assert!(diff.contains("line 2"), "{diff}");
+        assert!(diff.contains("golden_regen"), "{diff}");
+    }
+
+    #[test]
+    fn case_names_are_unique_and_stable() {
+        let names: Vec<&str> = cases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["e12_mini", "e13_mini", "e14_mini"]);
+    }
+}

@@ -5,6 +5,7 @@
 //! harness plumbing: result tables, JSON dumps, and the parallel sweep
 //! driver.
 
+pub mod golden;
 pub mod table;
 
 pub use table::Table;

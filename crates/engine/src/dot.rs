@@ -142,6 +142,20 @@ impl DotProductUnit {
         self.calibration.is_some()
     }
 
+    /// Attach shared amplitude-transmission caches to the two MZMs
+    /// (built from this unit's `mzm_a`/`mzm_b` configs, e.g. via
+    /// [`ofpc_photonics::tfcache::mzm_amplitude_cache`]). Attach *before*
+    /// [`DotProductUnit::calibrate`] so calibration and compute see the
+    /// same quantized curve.
+    pub fn set_mzm_caches(
+        &mut self,
+        a: std::sync::Arc<ofpc_par::TransferCache>,
+        b: std::sync::Arc<ofpc_par::TransferCache>,
+    ) {
+        self.mzm_a.set_amplitude_cache(a);
+        self.mzm_b.set_amplitude_cache(b);
+    }
+
     /// Run the calibration procedure: measure the photocurrent for a
     /// unit-product vector (all ones) and for a dark vector, storing the
     /// gain and offset that map integrated charge back to value. This is

@@ -27,6 +27,7 @@
 //! [`precision`] converts measured SNR into effective bits so experiments
 //! can report the analog precision budget.
 
+pub mod batch;
 pub mod calibration;
 pub mod comparator;
 pub mod correlator;

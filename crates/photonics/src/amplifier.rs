@@ -39,12 +39,26 @@ impl Default for EdfaConfig {
 pub struct Edfa {
     pub config: EdfaConfig,
     rng: SimRng,
+    /// Optional shared memo of the saturation-gain curve (input power →
+    /// effective linear gain; see [`crate::tfcache`]).
+    gain_cache: Option<std::sync::Arc<ofpc_par::TransferCache>>,
 }
 
 impl Edfa {
     pub fn new(config: EdfaConfig, rng: SimRng) -> Self {
         assert!(config.gain_db >= 0.0, "EDFA gain must be non-negative");
-        Edfa { config, rng }
+        Edfa {
+            config,
+            rng,
+            gain_cache: None,
+        }
+    }
+
+    /// Attach a shared quantized-key cache of the saturation-gain curve.
+    /// Build it from the same [`EdfaConfig`] with
+    /// [`crate::tfcache::edfa_gain_cache`].
+    pub fn set_gain_cache(&mut self, cache: std::sync::Arc<ofpc_par::TransferCache>) {
+        self.gain_cache = Some(cache);
     }
 
     /// Ideal noiseless amplifier (for algebra tests).
@@ -78,15 +92,20 @@ impl Edfa {
         let gain_lin = units::db_to_linear(self.config.gain_db);
         // Saturation: cap mean output power at the saturation level.
         let p_in = input.mean_power_w();
-        let p_sat = if self.config.saturation_dbm.is_finite() {
-            units::dbm_to_watts(self.config.saturation_dbm)
-        } else {
-            f64::INFINITY
-        };
-        let effective_gain = if p_in * gain_lin > p_sat && p_in > 0.0 {
-            p_sat / p_in
-        } else {
-            gain_lin
+        let effective_gain = match &self.gain_cache {
+            Some(cache) => cache.eval(p_in),
+            None => {
+                let p_sat = if self.config.saturation_dbm.is_finite() {
+                    units::dbm_to_watts(self.config.saturation_dbm)
+                } else {
+                    f64::INFINITY
+                };
+                if p_in * gain_lin > p_sat && p_in > 0.0 {
+                    p_sat / p_in
+                } else {
+                    gain_lin
+                }
+            }
         };
         let amp = effective_gain.sqrt();
         let ase_total = self.ase_power_w(input.sample_rate_hz, input.wavelength_m);

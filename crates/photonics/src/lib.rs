@@ -29,6 +29,7 @@ pub mod noise;
 pub mod photodetector;
 pub mod rng;
 pub mod signal;
+pub mod tfcache;
 pub mod units;
 pub mod wdm;
 

@@ -92,6 +92,9 @@ pub struct MachZehnderModulator {
     pub config: MzmConfig,
     /// Symbols modulated so far (drives energy accounting).
     pub symbols_modulated: u64,
+    /// Optional shared memo of the amplitude-transmission curve
+    /// (see [`crate::tfcache`]); `None` evaluates the curve directly.
+    amplitude_cache: Option<std::sync::Arc<ofpc_par::TransferCache>>,
 }
 
 impl MachZehnderModulator {
@@ -99,6 +102,26 @@ impl MachZehnderModulator {
         MachZehnderModulator {
             config,
             symbols_modulated: 0,
+            amplitude_cache: None,
+        }
+    }
+
+    /// Attach a shared quantized-key cache of this modulator's amplitude
+    /// transmission. The cache must be built from the same [`MzmConfig`]
+    /// (use [`crate::tfcache::mzm_amplitude_cache`]); per-sample lookups
+    /// in [`MachZehnderModulator::modulate`] then go through the grid,
+    /// changing results by at most the quantization bound.
+    pub fn set_amplitude_cache(&mut self, cache: std::sync::Arc<ofpc_par::TransferCache>) {
+        self.amplitude_cache = Some(cache);
+    }
+
+    /// Amplitude transmission via the attached cache, or the direct
+    /// curve when no cache is attached.
+    #[inline]
+    fn cached_transmission(&self, v: f64) -> f64 {
+        match &self.amplitude_cache {
+            Some(cache) => cache.eval(v),
+            None => self.amplitude_transmission(v),
         }
     }
 
@@ -154,7 +177,7 @@ impl MachZehnderModulator {
         }
         let mut out = input.clone();
         for (s, &v) in out.samples.iter_mut().zip(drive.samples.iter()) {
-            *s = s.scale(self.amplitude_transmission(v));
+            *s = s.scale(self.cached_transmission(v));
         }
         self.symbols_modulated += input.len() as u64;
         out

@@ -1,0 +1,150 @@
+//! Quantized transfer-function caches for device curves.
+//!
+//! Batch workloads evaluate the same device curves — the MZM amplitude
+//! transmission and the EDFA saturation gain — millions of times at
+//! DAC-quantized operating points. These constructors wrap each curve in
+//! an [`ofpc_par::TransferCache`], which snaps the operating point to a
+//! quantization grid and memoizes the curve at the grid point. The cache
+//! is shared read-only across workers behind an `Arc` and is
+//! deterministic under concurrency (the stored value is a pure function
+//! of the key — see the `ofpc-par` crate docs).
+//!
+//! Attaching a cache is **opt-in** and changes numeric results by at
+//! most the quantization bound (`L·step/2` for a curve with Lipschitz
+//! constant `L`); uncached devices are bit-for-bit what they always
+//! were. A cache must be built from the *same config* as the device it
+//! is attached to — the constructors here guarantee that by capturing a
+//! clone of the config in the closure.
+
+use std::sync::Arc;
+
+use ofpc_par::TransferCache;
+
+use crate::amplifier::EdfaConfig;
+use crate::modulator::{MachZehnderModulator, MzmConfig};
+use crate::units;
+
+/// Default MZM drive-voltage quantization step, volts. 1 mV is far
+/// below an 8-bit DAC's step over a ~3 V Vπ swing (~12 mV), so the
+/// cache error is dominated by the DAC, not the grid.
+pub const MZM_DRIVE_STEP_V: f64 = 1e-3;
+
+/// Default EDFA input-power quantization step, watts. 10 nW resolves
+/// the µW–mW powers seen at amplifier inputs to better than 1 %.
+pub const EDFA_POWER_STEP_W: f64 = 1e-8;
+
+/// A shared amplitude-transmission cache for MZMs with this `config`:
+/// drive voltage → amplitude transmission `t(v)`. Attach with
+/// [`MachZehnderModulator::set_amplitude_cache`].
+pub fn mzm_amplitude_cache(config: &MzmConfig, step_v: f64) -> Arc<TransferCache> {
+    let reference = MachZehnderModulator::new(config.clone());
+    Arc::new(TransferCache::new(step_v, move |v| {
+        reference.amplitude_transmission(v)
+    }))
+}
+
+/// A shared saturation-gain cache for EDFAs with this `config`: mean
+/// input power (W) → effective linear gain after the saturation cap.
+/// Attach with [`crate::amplifier::Edfa::set_gain_cache`].
+pub fn edfa_gain_cache(config: &EdfaConfig, step_w: f64) -> Arc<TransferCache> {
+    let gain_lin = units::db_to_linear(config.gain_db);
+    let p_sat = if config.saturation_dbm.is_finite() {
+        units::dbm_to_watts(config.saturation_dbm)
+    } else {
+        f64::INFINITY
+    };
+    Arc::new(TransferCache::new(step_w, move |p_in| {
+        if p_in * gain_lin > p_sat && p_in > 0.0 {
+            p_sat / p_in
+        } else {
+            gain_lin
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amplifier::{Edfa, EdfaConfig};
+    use crate::rng::SimRng;
+    use crate::signal::{AnalogWaveform, OpticalField};
+
+    const RATE: f64 = 10e9;
+    const WL: f64 = units::C_BAND_WAVELENGTH_M;
+
+    #[test]
+    fn mzm_cache_matches_curve_within_grid_bound() {
+        // Infinite extinction ratio: the finite-ER floor preserves the
+        // transmission's sign and so jumps at the nulls, where a grid
+        // bound cannot hold. The smooth curve is Lipschitz everywhere.
+        let cfg = MzmConfig {
+            extinction_ratio_db: f64::INFINITY,
+            ..MzmConfig::default()
+        };
+        let m = MachZehnderModulator::new(cfg.clone());
+        let cache = mzm_amplitude_cache(&cfg, MZM_DRIVE_STEP_V);
+        // |dt/dv| ≤ π/(2Vπ) (times the ≤1 insertion-loss factor).
+        let slope = std::f64::consts::PI / (2.0 * cfg.v_pi);
+        for i in 0..500 {
+            let v = -6.0 + i as f64 * 12.0 / 500.0;
+            let err = (cache.eval(v) - m.amplitude_transmission(v)).abs();
+            assert!(
+                err <= slope * MZM_DRIVE_STEP_V / 2.0 + 1e-12,
+                "v={v} err={err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_modulator_reuses_grid_points() {
+        let cfg = MzmConfig::default();
+        let mut m = MachZehnderModulator::new(cfg.clone());
+        let cache = mzm_amplitude_cache(&cfg, MZM_DRIVE_STEP_V);
+        m.set_amplitude_cache(Arc::clone(&cache));
+        let input = OpticalField::cw(64, 1e-3, RATE, WL);
+        let drive = AnalogWaveform::new(
+            (0..64)
+                .map(|i| if i % 2 == 0 { 1.5 } else { 0.5 })
+                .collect(),
+            RATE,
+        );
+        let first = m.modulate(&input, &drive);
+        let again = m.modulate(&input, &drive);
+        assert_eq!(first.samples, again.samples);
+        // 64 samples but only 2 distinct drive levels → 2 grid points.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.hits() >= 126);
+    }
+
+    #[test]
+    fn edfa_cache_reproduces_saturation_kink() {
+        let cfg = EdfaConfig {
+            gain_db: 30.0,
+            saturation_dbm: 10.0,
+            ..EdfaConfig::default()
+        };
+        let cache = edfa_gain_cache(&cfg, EDFA_POWER_STEP_W);
+        let gain_lin = units::db_to_linear(30.0);
+        // Below the knee: full gain. Above: capped at p_sat/p_in.
+        let low = cache.eval(1e-6);
+        assert!((low - gain_lin).abs() / gain_lin < 1e-9);
+        let p_in = 1e-3; // 0 dBm in, 30 dB gain → caps at 10 dBm
+        let high = cache.eval(p_in);
+        let want = units::dbm_to_watts(10.0) / cache.quantize(p_in);
+        assert!((high - want).abs() / want < 1e-9, "got {high} want {want}");
+    }
+
+    #[test]
+    fn cached_edfa_amplify_matches_uncached_within_grid_bound() {
+        let cfg = EdfaConfig::default();
+        let input = OpticalField::cw(256, 1e-5, RATE, WL);
+        let mut plain = Edfa::new(cfg.clone(), SimRng::seed_from_u64(9));
+        let mut cached = Edfa::new(cfg.clone(), SimRng::seed_from_u64(9));
+        cached.set_gain_cache(edfa_gain_cache(&cfg, EDFA_POWER_STEP_W));
+        let a = plain.amplify(&input);
+        let b = cached.amplify(&input);
+        // Unsaturated regime: gain is constant, so the cache grid has no
+        // effect at all and both RNG streams line up sample for sample.
+        assert_eq!(a.samples, b.samples);
+    }
+}

@@ -26,6 +26,9 @@ pub mod track {
     pub const NET: u32 = 3;
     /// Recovery-stage spans (`tid` = fault sequence number).
     pub const RECOVERY: u32 = 4;
+    /// Parallel-pool task attribution (`tid` = worker index; timestamps
+    /// are task-slot ordinals, not picoseconds).
+    pub const PAR: u32 = 5;
 }
 
 /// Event phase: duration begin/end or instant.

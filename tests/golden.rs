@@ -1,0 +1,51 @@
+//! Golden-replay regression suite: the mini E12/E13/E14 scenarios must
+//! regenerate byte-identical to the fixtures pinned under
+//! `results/golden/`. Any behavioral drift in the serving, fault, or
+//! telemetry stacks fails here with a readable first-divergence diff;
+//! intentional changes are re-pinned with
+//! `cargo run -p ofpc-bench --bin golden_regen` and reviewed like any
+//! other diff.
+
+use ofpc_bench::golden;
+use ofpc_par::WorkerPool;
+
+fn check(name: &str) {
+    let (_, generate) = golden::cases()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown golden case {name:?}"));
+    let path = format!("results/golden/{name}.json");
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read fixture {path}: {e}; run `cargo run -p ofpc-bench --bin golden_regen`")
+    });
+    let current = generate(&WorkerPool::sequential());
+    if let Some(diff) = golden::first_divergence(name, &fixture, &current) {
+        panic!("{diff}");
+    }
+}
+
+#[test]
+fn e12_serving_knee_matches_golden() {
+    check("e12_mini");
+}
+
+#[test]
+fn e13_fault_replay_matches_golden() {
+    check("e13_mini");
+}
+
+#[test]
+fn e14_telemetry_snapshot_matches_golden() {
+    check("e14_mini");
+}
+
+#[test]
+fn fixtures_exist_for_every_case() {
+    for (name, _) in golden::cases() {
+        let path = format!("results/golden/{name}.json");
+        assert!(
+            std::path::Path::new(&path).exists(),
+            "missing fixture {path}; run `cargo run -p ofpc-bench --bin golden_regen`"
+        );
+    }
+}
