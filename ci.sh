@@ -45,6 +45,12 @@ run_no_warnings cargo bench --offline -q -p ofpc-bench --bench network_sim
 echo "==> parallel scaling & sequential regression gate (BENCH_BASELINE.json)"
 run_no_warnings cargo bench --offline -q -p ofpc-bench --bench par_scaling
 
+echo "==> graph compiler gate (pipelined >=1.5x sequential, deterministic)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench graph_pipeline
+
+echo "==> E16 graph compiler smoke run (expt_graph)"
+run_no_warnings cargo run --offline -q -p ofpc-bench --bin expt_graph
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

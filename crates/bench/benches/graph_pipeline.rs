@@ -1,0 +1,87 @@
+//! Bench gate: the graph compiler's wavelength pipelining must pay off.
+//!
+//! A plain `harness = false` binary so it can fail CI with a nonzero
+//! exit. Two checks on the seeded E16 scenario (3-layer DNN compiled
+//! onto the Fig. 1 WAN):
+//!
+//! 1. **Determinism** — two compiles + runs of the same seeded scenario
+//!    must serialize byte-identically; the executor is pure integer
+//!    arithmetic, so any divergence is a bug, on any machine.
+//! 2. **Pipelining gain** — the compiled pipelined schedule must
+//!    deliver at least [`MIN_GAIN`]× the naive sequential throughput at
+//!    equal per-request energy. This is a model-level gate (simulated
+//!    picoseconds, not wall clock), so it cannot flake on loaded CI.
+
+use ofpc_engine::dnn::Mlp;
+use ofpc_graph::exec::{ExecConfig, ExecMode, ExecReport};
+use ofpc_graph::lower::LowerConfig;
+use ofpc_graph::{compile, ir, GraphExecutor};
+use ofpc_net::{NodeId, Topology};
+use ofpc_photonics::SimRng;
+
+/// Gate: pipelined throughput must beat sequential by this factor.
+const MIN_GAIN: f64 = 1.5;
+const SEED: u64 = 16;
+const REQUESTS: usize = 64;
+
+fn compiled() -> GraphExecutor {
+    let mut rng = SimRng::seed_from_u64(SEED);
+    let mlp = Mlp::new_random(&[16, 16, 16, 8], &mut rng);
+    let graph = ir::dnn_graph(&mlp, 4.0, 6.0);
+    compile(
+        &graph,
+        &LowerConfig::metro(),
+        &Topology::fig1(),
+        &[0, 2, 2, 0],
+        NodeId(0),
+        NodeId(3),
+        4,
+    )
+    .expect("DNN compiles onto fig1")
+}
+
+fn run(ex: &GraphExecutor, mode: ExecMode) -> ExecReport {
+    ex.run(&ExecConfig {
+        requests: REQUESTS,
+        inter_arrival_ps: 0,
+        mode,
+    })
+}
+
+fn check_determinism() {
+    let a = serde_json::to_string(&run(&compiled(), ExecMode::Pipelined)).expect("serializes");
+    let b = serde_json::to_string(&run(&compiled(), ExecMode::Pipelined)).expect("serializes");
+    assert!(
+        a == b,
+        "graph_pipeline: two seeded compile+run passes diverged"
+    );
+    println!("graph_pipeline: determinism OK ({} bytes)", a.len());
+}
+
+fn check_pipeline_gain() {
+    let ex = compiled();
+    let pipe = run(&ex, ExecMode::Pipelined);
+    let seq = run(&ex, ExecMode::Sequential);
+    let gain = pipe.throughput_rps / seq.throughput_rps;
+    println!(
+        "graph_pipeline: pipelined {:.0} req/s vs sequential {:.0} req/s -> {gain:.2}x (gate {MIN_GAIN}x)",
+        pipe.throughput_rps, seq.throughput_rps
+    );
+    assert!(
+        gain >= MIN_GAIN,
+        "graph_pipeline: gain {gain:.2}x below the {MIN_GAIN}x gate"
+    );
+    assert!(
+        pipe.energy_per_request_j <= seq.energy_per_request_j,
+        "graph_pipeline: pipelining must not cost energy \
+         ({} J vs {} J per request)",
+        pipe.energy_per_request_j,
+        seq.energy_per_request_j
+    );
+}
+
+fn main() {
+    check_determinism();
+    check_pipeline_gain();
+    println!("graph_pipeline: all gates passed");
+}

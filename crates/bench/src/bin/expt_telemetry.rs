@@ -442,8 +442,14 @@ fn main() {
 
     // --- Artifacts: the Chrome trace and the metrics snapshot. ---
     if std::fs::create_dir_all("results").is_ok() {
-        let _ = std::fs::write("results/e14_telemetry_trace.json", &trace_f);
-        let _ = std::fs::write("results/e14_telemetry_trace_e12.json", &trace_a);
+        let _ = std::fs::write(
+            "results/e14_telemetry_trace.json",
+            ofpc_bench::table::versioned_trace(&trace_f),
+        );
+        let _ = std::fs::write(
+            "results/e14_telemetry_trace_e12.json",
+            ofpc_bench::table::versioned_trace(&trace_a),
+        );
     }
     dump_json(
         "e14_telemetry",

@@ -107,7 +107,7 @@ pub fn e12_mini(pool: &WorkerPool) -> String {
         }
     }
     let reports = run_sweep(pool, scenarios);
-    serde_json::to_string_pretty(&reports).expect("reports serialize")
+    crate::table::versioned_pretty(&reports)
 }
 
 /// Mini E13: the engine-outage window replayed with and without the
@@ -128,7 +128,7 @@ pub fn e13_mini(pool: &WorkerPool) -> String {
         })
         .collect();
     let reports = run_sweep(pool, scenarios);
-    serde_json::to_string_pretty(&reports).expect("reports serialize")
+    crate::table::versioned_pretty(&reports)
 }
 
 #[derive(Debug, Serialize)]
@@ -164,13 +164,12 @@ pub fn e14_mini(pool: &WorkerPool) -> String {
     );
     let events = tel.trace_events();
     let spans = validate_balanced(&events).expect("mini trace must balance");
-    serde_json::to_string_pretty(&E14Mini {
+    crate::table::versioned_pretty(&E14Mini {
         report,
         trace_events: events.len(),
         trace_spans: spans,
         metrics: tel.snapshot(),
     })
-    .expect("summary serializes")
 }
 
 /// A named golden-fixture generator.

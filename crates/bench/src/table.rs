@@ -67,8 +67,46 @@ impl Table {
     }
 }
 
+/// Version of the `results/*.json` report envelope. Bump when the
+/// envelope shape (not the payload) changes; payload drift is caught by
+/// the golden fixtures instead.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wrap a serialized payload in the versioned report envelope:
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "data": <payload>
+/// }
+/// ```
+///
+/// Every line of the payload after the first is indented two spaces so
+/// the envelope nests like ordinary pretty-printed JSON. The output is
+/// a pure function of the payload — golden fixtures stay
+/// byte-deterministic.
+pub fn versioned_pretty<T: Serialize>(value: &T) -> String {
+    let inner = serde_json::to_string_pretty(value).expect("payload serializes");
+    let mut indented = String::with_capacity(inner.len());
+    for (i, line) in inner.lines().enumerate() {
+        if i > 0 {
+            indented.push_str("\n  ");
+        }
+        indented.push_str(line);
+    }
+    format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"data\": {indented}\n}}")
+}
+
+/// Wrap a Chrome-trace event array in the versioned object format —
+/// still loadable by `chrome://tracing` / Perfetto, which accept
+/// `{"traceEvents": [...]}` with extra metadata keys.
+pub fn versioned_trace(trace_array_json: &str) -> String {
+    format!("{{\"schema_version\":{SCHEMA_VERSION},\"traceEvents\":\n{trace_array_json}\n}}")
+}
+
 /// Dump any serializable result to `results/<name>.json` (creating the
-/// directory), so experiment outputs are machine-readable.
+/// directory) in the versioned envelope, so experiment outputs are
+/// machine-readable and schema drift is explicit.
 pub fn dump_json<T: Serialize>(name: &str, value: &T) {
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -76,13 +114,8 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(&path, versioned_pretty(value)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 
@@ -109,5 +142,32 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn versioned_envelope_is_valid_json_with_schema() {
+        #[derive(Serialize)]
+        struct Payload {
+            x: u32,
+            name: String,
+        }
+        let doc = versioned_pretty(&Payload {
+            x: 7,
+            name: "hi".into(),
+        });
+        assert!(doc.starts_with("{\n  \"schema_version\": 1,\n  \"data\": {"));
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("envelope parses");
+        let map = v.as_map().expect("envelope is an object");
+        assert!(map.iter().any(|(k, _)| k == "schema_version"));
+        assert!(map.iter().any(|(k, _)| k == "data"));
+    }
+
+    #[test]
+    fn versioned_trace_keeps_event_array() {
+        let doc = versioned_trace("[\n  {\"ph\":\"B\"}\n]");
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("trace envelope parses");
+        let map = v.as_map().expect("object format");
+        assert!(map.iter().any(|(k, _)| k == "traceEvents"));
+        assert!(map.iter().any(|(k, _)| k == "schema_version"));
     }
 }

@@ -9,7 +9,7 @@
 //! few transponders).
 
 use crate::demand::Demand;
-use ofpc_net::routing::shortest_paths_filtered;
+use ofpc_net::routing::distance_matrix;
 use ofpc_net::{LinkId, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -48,19 +48,6 @@ impl ProblemInstance {
 /// milliseconds of equivalent latency (cost units).
 pub const SLOT_COST_MS: f64 = 0.5;
 
-/// All-pairs shortest path distances over links accepted by `link_ok`,
-/// ps. `None` = unreachable.
-fn all_pairs(topo: &Topology, link_ok: &dyn Fn(LinkId) -> bool) -> Vec<Vec<Option<u64>>> {
-    (0..topo.node_count())
-        .map(|i| {
-            let paths = shortest_paths_filtered(topo, NodeId(i as u32), link_ok);
-            (0..topo.node_count())
-                .map(|j| paths.get(&NodeId(j as u32)).map(|&(d, _)| d))
-                .collect()
-        })
-        .collect()
-}
-
 /// Enumerate options for `demands` over `topo`, where `node_slots[n]` is
 /// the number of compute transponders at node `n`. Options per demand
 /// are capped at `max_options_per_demand`, keeping the cheapest.
@@ -95,7 +82,7 @@ pub fn enumerate_options_filtered(
         "node_slots must cover every node"
     );
     assert!(max_options_per_demand >= 1, "need at least one option slot");
-    let dist = all_pairs(topo, link_ok);
+    let dist = distance_matrix(topo, link_ok);
     let compute_sites: Vec<NodeId> = (0..node_slots.len())
         .filter(|&n| node_slots[n] > 0)
         .map(|n| NodeId(n as u32))

@@ -1,0 +1,376 @@
+//! Lowering: partition ops onto photonic or digital execution, fuse
+//! adjacent stages, and attach per-stage latency/energy estimates.
+//!
+//! Partitioning is precision-driven: an op runs photonically only when
+//! the [`ErrorBudget`] — the receiver SNR fed through
+//! [`ofpc_engine::precision::predicted_effective_bits`] minus a safety
+//! margin — predicts at least the op's `min_bits` at its operand
+//! length. Everything else (and everything with no photonic form) runs
+//! on the site's digital compute model.
+//!
+//! Fusion rules:
+//! * a photonic MVM followed by a photonic activation of matching width
+//!   fuses into one all-optical stage (the Bandyopadhyay DNN layer: the
+//!   P3 unit gates the MVM's light in-line, no O/E conversion between
+//!   them, so the activation adds no transport time);
+//! * adjacent digital ops merge (one DSP invocation).
+//!
+//! Cost estimates come from the serving-layer [`ServiceModel`] (itself
+//! derived from the transponder hardware config): photonic stages pay
+//! the steady-state per-request streaming/readout price, with their
+//! weight-reconfiguration charge accounted separately as a one-time
+//! plan-install cost; digital stages pay the platform's
+//! [`ComputeModel`] MAC time and energy.
+
+use crate::ir::{GraphError, OpId, OpKind, WorkGraph};
+use ofpc_apps::digital::ComputeModel;
+use ofpc_engine::precision::predicted_effective_bits;
+use ofpc_serve::{BatchClass, ServiceModel};
+use serde::{Deserialize, Serialize};
+
+/// The analog error budget driving photonic/digital partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBudget {
+    /// Photodetector SNR at the operating optical power, dB.
+    pub pd_snr_db: f64,
+    /// Safety margin subtracted from the prediction, bits (DAC
+    /// quantization, calibration residue, aging headroom).
+    pub margin_bits: f64,
+}
+
+impl ErrorBudget {
+    /// A realistic metro deployment: 40 dB receiver SNR, one bit of
+    /// margin.
+    pub fn realistic() -> Self {
+        ErrorBudget {
+            pd_snr_db: 40.0,
+            margin_bits: 1.0,
+        }
+    }
+
+    /// A degraded link (low received power): photonics only clears
+    /// low-precision ops, pushing precision-critical stages digital.
+    pub fn degraded() -> Self {
+        ErrorBudget {
+            pd_snr_db: 22.0,
+            margin_bits: 1.0,
+        }
+    }
+
+    /// Effective bits the budget affords an op of `n` operands.
+    pub fn effective_bits(&self, n: usize) -> f64 {
+        predicted_effective_bits(self.pd_snr_db, n) - self.margin_bits
+    }
+
+    /// Whether an op fits the budget photonically.
+    pub fn admits(&self, kind: &OpKind, min_bits: f64) -> bool {
+        kind.primitive().is_some() && self.effective_bits(kind.input_elems()) >= min_bits
+    }
+}
+
+/// Where a fused stage executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    Photonic,
+    Digital,
+}
+
+/// One fused, costed stage of a compiled plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// IR ops fused into this stage, in execution order.
+    pub ops: Vec<OpId>,
+    /// Human-readable label, e.g. `"mvm+nonlinear"`.
+    pub label: String,
+    pub target: Target,
+    /// The batch class a photonic stage occupies on a transponder slot.
+    pub class: Option<BatchClass>,
+    /// Operand stream length entering the stage, elements.
+    pub operand_len: u32,
+    /// MACs executed per request.
+    pub macs: u64,
+    /// Steady-state per-request service time, ps (weights pinned).
+    pub service_ps: u64,
+    /// Per-request energy, J.
+    pub energy_j: f64,
+    /// One-time weight/pattern install charge, ps (photonic stages).
+    pub reconfig_ps: u64,
+    /// One-time install energy, J.
+    pub reconfig_j: f64,
+    /// Effective bits the budget predicts for this stage (`∞` for
+    /// digital stages — they are exact at the modeled precision).
+    pub predicted_bits: f64,
+}
+
+/// A lowered plan: the fused stage chain with cost estimates, ready for
+/// placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledPlan {
+    pub graph_name: String,
+    pub stages: Vec<Stage>,
+}
+
+impl CompiledPlan {
+    pub fn photonic_stage_count(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.target == Target::Photonic)
+            .count()
+    }
+
+    /// Sum of steady-state stage services, ps (the sequential service
+    /// floor, excluding propagation).
+    pub fn total_service_ps(&self) -> u64 {
+        self.stages.iter().map(|s| s.service_ps).sum()
+    }
+
+    /// Per-request energy across all stages, J.
+    pub fn energy_per_request_j(&self) -> f64 {
+        self.stages.iter().map(|s| s.energy_j).sum()
+    }
+}
+
+/// Everything lowering needs to know about the deployment.
+#[derive(Debug, Clone)]
+pub struct LowerConfig {
+    pub budget: ErrorBudget,
+    /// Photonic per-stage pricing (from the transponder hardware).
+    pub model: ServiceModel,
+    /// The digital platform co-located at engine sites (fallback DSP).
+    pub digital: ComputeModel,
+}
+
+/// Lower a validated graph to a costed stage chain.
+pub fn lower(graph: &WorkGraph, cfg: &LowerConfig) -> Result<CompiledPlan, GraphError> {
+    graph.validate()?;
+    let order = graph.topo_order().ok_or(GraphError::Cyclic)?;
+
+    // Partition, then fuse in topological order.
+    #[derive(Clone)]
+    struct Pending {
+        ops: Vec<OpId>,
+        labels: Vec<&'static str>,
+        target: Target,
+        head_kind: OpKind,
+        macs: u64,
+    }
+    let mut fused: Vec<Pending> = Vec::new();
+    for &i in &order {
+        let node = &graph.nodes[i];
+        let photonic = cfg.budget.admits(&node.kind, node.min_bits);
+        let target = if photonic {
+            Target::Photonic
+        } else {
+            Target::Digital
+        };
+        let can_fuse = match fused.last() {
+            Some(prev) if prev.target != target => false,
+            Some(prev) => match (target, &prev.head_kind, &node.kind) {
+                // Digital neighbors always merge.
+                (Target::Digital, _, _) => true,
+                // MVM + matching-width activation: one all-optical pass.
+                (Target::Photonic, OpKind::Mvm { rows, .. }, OpKind::Nonlinear { width }) => {
+                    prev.ops.len() == 1 && rows == width
+                }
+                (Target::Photonic, _, _) => false,
+            },
+            None => false,
+        };
+        if can_fuse {
+            let prev = fused.last_mut().expect("checked above");
+            prev.ops.push(node.id);
+            prev.labels.push(node.kind.label());
+            prev.macs += node.kind.macs();
+        } else {
+            fused.push(Pending {
+                ops: vec![node.id],
+                labels: vec![node.kind.label()],
+                target,
+                head_kind: node.kind,
+                macs: node.kind.macs(),
+            });
+        }
+    }
+
+    // Cost each fused stage.
+    let mut stages = Vec::with_capacity(fused.len());
+    for p in fused {
+        let operand_len = p.head_kind.input_elems() as u32;
+        let stage = match p.target {
+            Target::Photonic => {
+                let class = BatchClass {
+                    primitive: p.head_kind.primitive().expect("photonic op has primitive"),
+                    operand_len,
+                };
+                let (service_ps, ledger) = cfg.model.request_service(class);
+                // The streaming pass pays one MAC per operand element;
+                // wider engines (an MVM's rows) burn proportionally more
+                // photonic MACs in the same pass.
+                let extra_macs = p.macs.saturating_sub(u64::from(operand_len));
+                let energy_j = ledger.total_j() + extra_macs as f64 * cfg.model.mac_j;
+                let (reconfig_ps, reconfig_ledger) = cfg.model.reconfig_charge(class);
+                Stage {
+                    ops: p.ops,
+                    label: p.labels.join("+"),
+                    target: Target::Photonic,
+                    class: Some(class),
+                    operand_len,
+                    macs: p.macs,
+                    service_ps,
+                    energy_j,
+                    reconfig_ps,
+                    reconfig_j: reconfig_ledger.total_j(),
+                    predicted_bits: cfg.budget.effective_bits(operand_len as usize),
+                }
+            }
+            Target::Digital => Stage {
+                ops: p.ops,
+                label: p.labels.join("+"),
+                target: Target::Digital,
+                class: None,
+                operand_len,
+                macs: p.macs,
+                service_ps: (cfg.digital.time_for_macs(p.macs) * 1e12) as u64,
+                energy_j: cfg.digital.energy_for_macs(p.macs),
+                reconfig_ps: 0,
+                reconfig_j: 0.0,
+                predicted_bits: f64::INFINITY,
+            },
+        };
+        stages.push(stage);
+    }
+    Ok(CompiledPlan {
+        graph_name: graph.name.clone(),
+        stages,
+    })
+}
+
+/// Re-cost one photonic stage for digital execution on `digital` — the
+/// fault-recovery path: only the failed site's stages change target,
+/// everything else keeps its photonic costing.
+pub fn relower_stage_digital(stage: &Stage, digital: &ComputeModel) -> Stage {
+    Stage {
+        ops: stage.ops.clone(),
+        label: format!("{}@digital", stage.label),
+        target: Target::Digital,
+        class: None,
+        operand_len: stage.operand_len,
+        macs: stage.macs,
+        service_ps: (digital.time_for_macs(stage.macs) * 1e12) as u64,
+        energy_j: digital.energy_for_macs(stage.macs),
+        reconfig_ps: 0,
+        reconfig_j: 0.0,
+        predicted_bits: f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{correlation_graph, dnn_graph};
+    use ofpc_engine::dnn::Mlp;
+    use ofpc_photonics::SimRng;
+    use ofpc_transponder::compute::ComputeTransponderConfig;
+
+    fn test_cfg(budget: ErrorBudget) -> LowerConfig {
+        LowerConfig {
+            budget,
+            model: ServiceModel::from_transponder(&ComputeTransponderConfig::realistic(), 4),
+            digital: ComputeModel::edge_soc(),
+        }
+    }
+
+    fn mlp() -> Mlp {
+        let mut rng = SimRng::seed_from_u64(16);
+        Mlp::new_random(&[16, 16, 16, 8], &mut rng)
+    }
+
+    #[test]
+    fn dnn_lowers_all_photonic_and_fuses_layers() {
+        let g = dnn_graph(&mlp(), 4.0, 6.0);
+        let plan = lower(&g, &test_cfg(ErrorBudget::realistic())).expect("lowers");
+        // Three layers: mvm+nonlinear, mvm+nonlinear, mvm.
+        assert_eq!(plan.stages.len(), 3);
+        assert_eq!(plan.photonic_stage_count(), 3);
+        assert_eq!(plan.stages[0].label, "mvm+nonlinear");
+        assert_eq!(plan.stages[2].label, "mvm");
+        for s in &plan.stages {
+            assert!(s.service_ps > 0 && s.energy_j > 0.0, "{s:?}");
+            assert!(s.reconfig_ps > s.service_ps, "reconfig dominates: {s:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_budget_pushes_precise_stages_digital() {
+        let g = dnn_graph(&mlp(), 2.5, 8.0);
+        let budget = ErrorBudget::degraded();
+        // Sanity: the budget clears 2.5 bits at n=16 but not 8 bits.
+        assert!(budget.effective_bits(16) > 2.5);
+        assert!(budget.effective_bits(16) < 8.0);
+        let plan = lower(&g, &test_cfg(budget)).expect("lowers");
+        let last = plan.stages.last().expect("has stages");
+        assert_eq!(last.target, Target::Digital, "output layer goes digital");
+        assert!(
+            plan.photonic_stage_count() >= 1,
+            "hidden layers stay photonic"
+        );
+    }
+
+    #[test]
+    fn width_mismatch_blocks_fusion() {
+        // mvm(6x4) → nonlinear(6) fuses; a lone nonlinear(6) after an
+        // mvm(3x6) does not (width 3 ≠ 6 would be a shape error anyway;
+        // use two nonlinears to exercise the photonic no-fuse arm).
+        let g = crate::ir::WorkGraph::chain(
+            "nn",
+            &[
+                (OpKind::Nonlinear { width: 8 }, 2.0),
+                (OpKind::Nonlinear { width: 8 }, 2.0),
+            ],
+        );
+        let plan = lower(&g, &test_cfg(ErrorBudget::realistic())).expect("lowers");
+        assert_eq!(plan.stages.len(), 2, "photonic non-MVM ops do not fuse");
+    }
+
+    #[test]
+    fn digital_neighbors_merge() {
+        let g = correlation_graph(64, 16, 30.0); // 30 bits: nothing photonic
+        let plan = lower(&g, &test_cfg(ErrorBudget::realistic())).expect("lowers");
+        assert_eq!(plan.stages.len(), 1, "all-digital chain collapses");
+        assert_eq!(plan.stages[0].target, Target::Digital);
+        assert_eq!(plan.stages[0].macs, g.total_macs());
+    }
+
+    #[test]
+    fn correlation_mixes_targets() {
+        let g = correlation_graph(64, 16, 4.0);
+        let plan = lower(&g, &test_cfg(ErrorBudget::realistic())).expect("lowers");
+        assert_eq!(plan.stages.len(), 3);
+        assert_eq!(plan.stages[0].target, Target::Digital);
+        assert_eq!(plan.stages[1].target, Target::Photonic);
+        assert_eq!(plan.stages[2].target, Target::Photonic);
+    }
+
+    #[test]
+    fn relowered_stage_keeps_work_changes_cost() {
+        let g = dnn_graph(&mlp(), 4.0, 6.0);
+        let plan = lower(&g, &test_cfg(ErrorBudget::realistic())).expect("lowers");
+        let s = &plan.stages[0];
+        let d = relower_stage_digital(s, &ComputeModel::edge_soc());
+        assert_eq!(d.target, Target::Digital);
+        assert_eq!(d.macs, s.macs);
+        assert_eq!(d.ops, s.ops);
+        assert!(d.label.ends_with("@digital"));
+        assert!(d.service_ps > 0);
+    }
+
+    #[test]
+    fn cyclic_graph_fails_lowering() {
+        let mut g = crate::ir::WorkGraph::new("cyc");
+        let a = g.add_op(OpKind::Nonlinear { width: 4 }, 2.0);
+        let b = g.add_op(OpKind::Nonlinear { width: 4 }, 2.0);
+        g.connect(a, b);
+        g.connect(b, a);
+        assert!(lower(&g, &test_cfg(ErrorBudget::realistic())).is_err());
+    }
+}

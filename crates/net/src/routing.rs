@@ -61,6 +61,20 @@ pub fn shortest_paths_filtered(
     dist
 }
 
+/// All-pairs shortest-path delays over links accepted by `link_ok`, ps,
+/// indexed `[src][dst]`; `None` = unreachable. One Dijkstra per source —
+/// the shared matrix behind option enumeration and graph placement.
+pub fn distance_matrix(topo: &Topology, link_ok: &dyn Fn(LinkId) -> bool) -> Vec<Vec<Option<u64>>> {
+    (0..topo.node_count())
+        .map(|i| {
+            let paths = shortest_paths_filtered(topo, NodeId(i as u32), link_ok);
+            (0..topo.node_count())
+                .map(|j| paths.get(&NodeId(j as u32)).map(|&(d, _)| d))
+                .collect()
+        })
+        .collect()
+}
+
 /// Full path (sequence of nodes) from `src` to `dst` by delay, if any.
 pub fn shortest_path_nodes(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
     shortest_path_nodes_filtered(topo, src, dst, &|_| true)

@@ -114,6 +114,25 @@ impl ServiceModel {
         ledger.add("laser-supply", self.laser_w * service_ps as f64 * 1e-12);
         (service_ps, ledger)
     }
+
+    /// Steady-state service of a single request whose class is already
+    /// loaded on the slot — the per-request cost a compiled multi-stage
+    /// plan pays once its weights are pinned (graph stages reconfigure at
+    /// install time, not per request).
+    pub fn request_service(&self, class: BatchClass) -> (u64, EnergyLedger) {
+        self.batch_service(class, 1, Some(class))
+    }
+
+    /// One-time charge for installing `class` on a cold slot: the
+    /// reconfiguration latency (fixed + per-element DAC writes) and the
+    /// weight-write energy, with no streaming or readout.
+    pub fn reconfig_charge(&self, class: BatchClass) -> (u64, EnergyLedger) {
+        let mut ledger = EnergyLedger::new();
+        let reconfig_ps =
+            self.reconfig_fixed_ps + self.reconfig_per_element_ps * u64::from(class.operand_len);
+        ledger.add("reconfig-dac", class.operand_len as f64 * self.dac_sample_j);
+        (reconfig_ps, ledger)
+    }
 }
 
 /// A compute site visible to the serving runtime.

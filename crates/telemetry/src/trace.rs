@@ -29,6 +29,8 @@ pub mod track {
     /// Parallel-pool task attribution (`tid` = worker index; timestamps
     /// are task-slot ordinals, not picoseconds).
     pub const PAR: u32 = 5;
+    /// Compiled-graph stage execution spans (`tid` = request index).
+    pub const GRAPH: u32 = 6;
 }
 
 /// Event phase: duration begin/end or instant.

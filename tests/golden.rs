@@ -40,6 +40,24 @@ fn e14_telemetry_snapshot_matches_golden() {
 }
 
 #[test]
+fn fixtures_carry_the_report_schema_version() {
+    for (name, _) in golden::cases() {
+        let path = format!("results/golden/{name}.json");
+        let fixture = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read fixture {path}: {e}"));
+        let expected = format!(
+            "{{\n  \"schema_version\": {},\n  \"data\":",
+            ofpc_bench::table::SCHEMA_VERSION
+        );
+        assert!(
+            fixture.starts_with(&expected),
+            "fixture {name} missing the versioned envelope; \
+             run `cargo run -p ofpc-bench --bin golden_regen`"
+        );
+    }
+}
+
+#[test]
 fn fixtures_exist_for_every_case() {
     for (name, _) in golden::cases() {
         let path = format!("results/golden/{name}.json");

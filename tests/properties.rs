@@ -376,3 +376,108 @@ fn coherent_loopback_any_bits() {
         assert_eq!(&got[..bits.len()], &bits[..]);
     }
 }
+
+// ---------- Graph-compiler precision contract ----------
+
+/// The lowering pass admits a DNN stage photonically because
+/// [`ofpc_graph::lower::ErrorBudget`] predicts enough effective bits at
+/// the stage's operand length. This property closes the loop on real
+/// (simulated-physics) hardware:
+///
+/// 1. a realistic P1 unit, measured empirically, must deliver at least
+///    the bits the budget promised (the margin is the headroom);
+/// 2. a full photonic DNN chain vs its exact f64 digital replica must
+///    keep its end-to-end error within that same bit budget, referenced
+///    to the stage's physical full scale like the prediction is;
+/// 3. whenever the f64 baseline's decision margin exceeds the budget's
+///    error allowance, photonic classification must agree — the budget
+///    is exactly the contract that makes photonic lowering safe.
+#[test]
+fn photonic_dnn_chain_stays_within_the_lowering_budget() {
+    use ofpc_engine::dnn::{argmax, Mlp, PhotonicDnn};
+    use ofpc_engine::dot::{DotProductUnit, DotUnitConfig};
+    use ofpc_engine::mvm::PhotonicMatVec;
+    use ofpc_engine::nonlinear::{NonlinearConfig, NonlinearUnit};
+    use ofpc_engine::precision::measure_precision;
+    use ofpc_graph::lower::ErrorBudget;
+
+    const DIM: usize = 16;
+    let mut rng = SimRng::seed_from_u64(seed()).derive("dnn-budget");
+    let budget = ErrorBudget::realistic();
+    let promised_bits = budget.effective_bits(DIM);
+
+    // (1) The budget's own model, measured: realistic P1 at n = DIM.
+    let mut unit = DotProductUnit::new(DotUnitConfig::realistic(), &mut rng.derive("p1"));
+    unit.calibrate(DIM);
+    let report = measure_precision(&mut unit, DIM, CASES, &mut rng.derive("trials"));
+    assert!(
+        report.effective_bits >= promised_bits,
+        "P1 measured {:.2} bits, budget promised {promised_bits:.2}",
+        report.effective_bits
+    );
+
+    // (2) + (3): the end-to-end chain against its f64 replica.
+    let mlp = Mlp::new_random(&[DIM, DIM, 8], &mut rng);
+    let engine = {
+        let mut erng = rng.derive("engine");
+        let mut e = PhotonicMatVec::new(DotUnitConfig::realistic(), 4, &mut erng);
+        e.calibrate(DIM);
+        e
+    };
+    let calib: Vec<Vec<f64>> = (0..8)
+        .map(|_| (0..DIM).map(|_| rng.uniform()).collect())
+        .collect();
+    let mut pdnn = PhotonicDnn::new(&mlp, engine, NonlinearUnit::ideal(), &calib);
+    let curve = {
+        let mut p3 = NonlinearUnit::new(NonlinearConfig::ideal(), &mut rng.derive("curve"));
+        p3.calibrate();
+        p3.transfer_curve(64)
+    };
+
+    // Output-stage physical full scale: DIM unit-range operands times
+    // the layer weight scale — the reference predicted_effective_bits
+    // uses, so the comparison is apples to apples.
+    let full_scale = DIM as f64 * mlp.layers.last().expect("has layers").max_abs_weight();
+    let allowance = full_scale * (-promised_bits).exp2();
+    let mut sq_sum = 0.0;
+    let mut samples = 0usize;
+    let mut confident = 0usize;
+    let mut confident_agree = 0usize;
+    for _ in 0..CASES {
+        let x: Vec<f64> = (0..DIM).map(|_| rng.uniform()).collect();
+        let photonic = pdnn.forward(&x);
+        let twin = pdnn.digital_twin_forward(&x, &curve);
+        for (p, t) in photonic.iter().zip(&twin) {
+            let e = (p - t) / full_scale;
+            sq_sum += e * e;
+            samples += 1;
+        }
+        // Decision margin of the baseline: top logit minus runner-up.
+        let top = argmax(&twin);
+        let margin = twin[top]
+            - twin
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != top)
+                .map(|(_, &v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+        if margin > 4.0 * allowance {
+            confident += 1;
+            if argmax(&photonic) == top {
+                confident_agree += 1;
+            }
+        }
+    }
+    let rms = (sq_sum / samples as f64).sqrt();
+    let observed_bits = (1.0 / rms).log2();
+    assert!(
+        observed_bits >= promised_bits,
+        "photonic chain delivered {observed_bits:.2} effective bits, \
+         budget promised {promised_bits:.2}"
+    );
+    assert!(confident * 4 >= CASES, "margin threshold starves the test");
+    assert_eq!(
+        confident_agree, confident,
+        "photonic argmax flipped a decision whose margin beat the budget"
+    );
+}
