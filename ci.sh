@@ -51,6 +51,12 @@ run_no_warnings cargo bench --offline -q -p ofpc-bench --bench graph_pipeline
 echo "==> E16 graph compiler smoke run (expt_graph)"
 run_no_warnings cargo run --offline -q -p ofpc-bench --bin expt_graph
 
+echo "==> design-space sweep gate (deterministic, throughput vs BENCH_BASELINE.json)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench dse_sweep
+
+echo "==> E17 design-space exploration smoke run (expt_dse)"
+run_no_warnings cargo run --offline -q -p ofpc-bench --bin expt_dse
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

@@ -172,6 +172,14 @@ pub fn e14_mini(pool: &WorkerPool) -> String {
     })
 }
 
+/// Mini E17: the design-space sweep miniature — 2 apps × 3 converter
+/// pairings × 2 core sizes × 2 wavelength counts with the per-app
+/// Pareto frontier marked.
+pub fn e17_mini(pool: &WorkerPool) -> String {
+    let points = ofpc_dse::run_sweep(pool, &ofpc_dse::SweepSpec::mini());
+    crate::table::versioned_pretty(&points)
+}
+
 /// A named golden-fixture generator.
 pub type GoldenCase = (&'static str, fn(&WorkerPool) -> String);
 
@@ -181,6 +189,7 @@ pub fn cases() -> Vec<GoldenCase> {
         ("e12_mini", e12_mini as fn(&WorkerPool) -> String),
         ("e13_mini", e13_mini),
         ("e14_mini", e14_mini),
+        ("e17_mini", e17_mini),
     ]
 }
 
@@ -229,6 +238,6 @@ mod tests {
     #[test]
     fn case_names_are_unique_and_stable() {
         let names: Vec<&str> = cases().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["e12_mini", "e13_mini", "e14_mini"]);
+        assert_eq!(names, vec!["e12_mini", "e13_mini", "e14_mini", "e17_mini"]);
     }
 }

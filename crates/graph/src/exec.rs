@@ -311,6 +311,7 @@ mod tests {
             budget: ErrorBudget::realistic(),
             model: ServiceModel::from_transponder(&ComputeTransponderConfig::realistic(), 4),
             digital: ComputeModel::edge_soc(),
+            variants: Vec::new(),
         };
         let plan = lower(&g, &cfg).expect("lowers");
         let placed = place(

@@ -57,7 +57,9 @@ pub mod place;
 
 pub use exec::{ExecConfig, ExecMode, ExecReport, GraphExecutor};
 pub use ir::{dnn_graph, OpId, OpKind, OpNode, WorkGraph};
-pub use lower::{lower, CompiledPlan, ErrorBudget, LowerConfig, Stage, Target};
+pub use lower::{
+    lower, lower_traced, CompiledPlan, ErrorBudget, HardwareVariant, LowerConfig, Stage, Target,
+};
 pub use place::{place, PlaceError, PlacedPlan, StageBinding};
 
 use ofpc_net::{NodeId, Topology};
@@ -90,6 +92,7 @@ impl LowerConfig {
                 4,
             ),
             digital: ofpc_apps::digital::ComputeModel::edge_soc(),
+            variants: Vec::new(),
         }
     }
 }

@@ -197,6 +197,7 @@ mod tests {
             budget: ErrorBudget::realistic(),
             model: ServiceModel::from_transponder(&ComputeTransponderConfig::realistic(), 4),
             digital: ComputeModel::edge_soc(),
+            variants: Vec::new(),
         };
         lower(&g, &cfg).expect("lowers")
     }
@@ -243,6 +244,7 @@ mod tests {
             budget: ErrorBudget::realistic(),
             model: ServiceModel::from_transponder(&ComputeTransponderConfig::realistic(), 4),
             digital: ComputeModel::edge_soc(),
+            variants: Vec::new(),
         };
         let p = lower(&g, &cfg).expect("lowers");
         let topo = Topology::fig1();

@@ -24,17 +24,39 @@ pub struct ConverterConfig {
     /// Additive RMS noise referred to the output (DAC) or input (ADC),
     /// volts — models jitter + reference noise beyond quantization.
     pub noise_rms_v: f64,
+    /// Maximum conversion rate, samples/s (`0` = unlimited). A converter
+    /// asked to run faster emits/ingests at this rate instead, stretching
+    /// symbol time — the sample-rate wall calibrated catalog parts hit.
+    pub max_sample_rate_hz: f64,
 }
 
 impl ConverterConfig {
-    /// Ideal converter: quantization only, zero energy.
+    /// Ideal converter: quantization only, zero energy, no rate wall.
     pub fn ideal(bits: u32) -> Self {
         ConverterConfig {
             bits,
             full_scale_v: 1.0,
             energy_per_sample_j: 0.0,
             noise_rms_v: 0.0,
+            max_sample_rate_hz: 0.0,
         }
+    }
+
+    /// The rate the converter actually runs at when driven at
+    /// `requested_hz`: clamped to the part's maximum when one is set.
+    pub fn effective_sample_rate_hz(&self, requested_hz: f64) -> f64 {
+        assert!(requested_hz > 0.0, "sample rate must be positive");
+        if self.max_sample_rate_hz > 0.0 {
+            requested_hz.min(self.max_sample_rate_hz)
+        } else {
+            requested_hz
+        }
+    }
+
+    /// Symbol period at the effective rate, seconds — what a
+    /// rate-limited part stretches the line's symbol timing to.
+    pub fn symbol_time_s(&self, requested_hz: f64) -> f64 {
+        1.0 / self.effective_sample_rate_hz(requested_hz)
     }
 }
 
@@ -45,6 +67,7 @@ impl Default for ConverterConfig {
             full_scale_v: 1.0,
             energy_per_sample_j: 1.5e-12,
             noise_rms_v: 0.0005,
+            max_sample_rate_hz: 0.0,
         }
     }
 }
@@ -74,17 +97,26 @@ impl Dac {
         Dac::new(ConverterConfig::ideal(bits), SimRng::seed_from_u64(0))
     }
 
+    /// Build from a calibrated catalog part (see
+    /// [`crate::parts::DacPart`]).
+    pub fn from_part(part: &dyn crate::parts::DacPart, rng: SimRng) -> Self {
+        Dac::new(part.converter_config(), rng)
+    }
+
     /// Number of codes, `2^bits`.
     pub fn levels(&self) -> u64 {
         1u64 << self.config.bits
     }
 
     /// Convert a block of digital codes to voltages. Codes are clamped to
-    /// the valid range (saturation, not wraparound).
+    /// the valid range (saturation, not wraparound). The output waveform
+    /// runs at the part's effective rate: a DAC driven past its maximum
+    /// sample rate stretches symbol time rather than dropping samples.
     pub fn convert(&mut self, codes: &[u64], sample_rate_hz: f64) -> AnalogWaveform {
         let max_code = self.levels() - 1;
         let lsb = self.config.full_scale_v / max_code as f64;
-        let mut out = AnalogWaveform::zeros(codes.len(), sample_rate_hz);
+        let rate = self.config.effective_sample_rate_hz(sample_rate_hz);
+        let mut out = AnalogWaveform::zeros(codes.len(), rate);
         for (o, &c) in out.samples.iter_mut().zip(codes.iter()) {
             let c = c.min(max_code);
             let mut v = c as f64 * lsb;
@@ -131,6 +163,12 @@ impl Adc {
 
     pub fn ideal(bits: u32) -> Self {
         Adc::new(ConverterConfig::ideal(bits), SimRng::seed_from_u64(0))
+    }
+
+    /// Build from a calibrated catalog part (see
+    /// [`crate::parts::AdcPart`]).
+    pub fn from_part(part: &dyn crate::parts::AdcPart, rng: SimRng) -> Self {
+        Adc::new(part.converter_config(), rng)
     }
 
     pub fn levels(&self) -> u64 {
@@ -268,5 +306,81 @@ mod tests {
     #[should_panic(expected = "unreasonable")]
     fn rejects_zero_bit_converter() {
         Dac::new(ConverterConfig::ideal(0), SimRng::seed_from_u64(0));
+    }
+
+    // ------------------------------------------------- library edge cases
+
+    /// Full-scale clipping: inputs beyond either rail pin to the end
+    /// codes, and the clipped codes decode back to exactly 0 or 1 —
+    /// the saturation behavior the calibrated ADC parts rely on.
+    #[test]
+    fn adc_clips_symmetrically_beyond_full_scale() {
+        let mut adc = Adc::new(
+            ConverterConfig {
+                full_scale_v: 0.8,
+                ..ConverterConfig::ideal(8)
+            },
+            SimRng::seed_from_u64(0),
+        );
+        let wave = AnalogWaveform::new(vec![-10.0, -1e-9, 0.0, 0.8, 0.8 + 1e-9, 10.0], RATE);
+        let codes = adc.convert(&wave);
+        assert_eq!(codes, vec![0, 0, 0, 255, 255, 255]);
+        assert_eq!(adc.decode_unit(codes[0]), 0.0);
+        assert_eq!(adc.decode_unit(codes[5]), 1.0);
+    }
+
+    /// LSB rounding at precision boundaries: a value exactly between two
+    /// codes rounds away from zero (`f64::round` semantics), values an
+    /// epsilon to either side land on the adjacent codes, and the
+    /// boundary moves with the resolution.
+    #[test]
+    fn dac_rounds_half_lsb_boundaries_per_resolution() {
+        for bits in [4u32, 8, 12] {
+            let dac = Dac::ideal(bits);
+            let max_code = (1u64 << bits) - 1;
+            for k in [0u64, max_code / 3, max_code - 1] {
+                let boundary = (k as f64 + 0.5) / max_code as f64;
+                assert_eq!(dac.encode_unit(boundary), k + 1, "bits {bits} code {k}");
+                assert_eq!(dac.encode_unit(boundary - 1e-9), k, "bits {bits} code {k}");
+                assert_eq!(
+                    dac.encode_unit(boundary + 1e-9),
+                    k + 1,
+                    "bits {bits} code {k}"
+                );
+            }
+            // The ends of the range are exact codes at every resolution.
+            assert_eq!(dac.encode_unit(0.0), 0);
+            assert_eq!(dac.encode_unit(1.0), max_code);
+        }
+    }
+
+    /// Sample-rate-limited symbol timing: a slow part driven past its
+    /// wall emits at its own rate, stretching the symbol period; a part
+    /// with no wall (or driven below it) passes the requested rate
+    /// through untouched.
+    #[test]
+    fn rate_limited_dac_stretches_symbol_time() {
+        let slow = ConverterConfig {
+            max_sample_rate_hz: 1e6,
+            ..ConverterConfig::ideal(8)
+        };
+        let mut dac = Dac::new(slow.clone(), SimRng::seed_from_u64(0));
+        let wave = dac.convert(&[0, 128, 255], 10e9);
+        assert_eq!(wave.sample_rate_hz, 1e6);
+        assert!((slow.symbol_time_s(10e9) - 1e-6).abs() < 1e-18);
+        // Below the wall the requested rate wins.
+        assert_eq!(slow.effective_sample_rate_hz(0.5e6), 0.5e6);
+        // No wall: pass-through.
+        let free = ConverterConfig::ideal(8);
+        assert_eq!(free.effective_sample_rate_hz(10e9), 10e9);
+        assert!((free.symbol_time_s(10e9) - 1e-10).abs() < 1e-22);
+        let mut fast = Dac::new(free, SimRng::seed_from_u64(0));
+        assert_eq!(fast.convert(&[1], 10e9).sample_rate_hz, 10e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_requested_rate_panics() {
+        ConverterConfig::ideal(8).effective_sample_rate_hz(0.0);
     }
 }

@@ -31,6 +31,10 @@ pub mod track {
     pub const PAR: u32 = 5;
     /// Compiled-graph stage execution spans (`tid` = request index).
     pub const GRAPH: u32 = 6;
+    /// Design-space-exploration decisions: lowering's hardware-variant
+    /// bindings and sweep-point evaluations (`tid` = stage or point
+    /// index).
+    pub const DSE: u32 = 7;
 }
 
 /// Event phase: duration begin/end or instant.

@@ -49,6 +49,17 @@ pub struct BlockBudget {
     pub area_mm2: f64,
 }
 
+impl BlockBudget {
+    /// Budget entry from a calibrated catalog part.
+    pub fn from_part(part: &dyn ofpc_photonics::parts::HardwarePart) -> Self {
+        BlockBudget {
+            name: part.part_name().to_string(),
+            power_w: part.power_w(),
+            area_mm2: part.area_mm2(),
+        }
+    }
+}
+
 /// Catalog of block budgets (commodity + photonic-engine additions).
 /// Values are engineering estimates consistent with the published device
 /// classes the paper cites; they exist to make §5's form-factor question
@@ -103,6 +114,27 @@ pub fn compute_blocks() -> Vec<BlockBudget> {
         blocks.push(block(n));
     }
     blocks
+}
+
+/// The Fig.-4 block set with the converter/modulator/laser estimates
+/// replaced by calibrated catalog parts — what a design point in the
+/// `ofpc-dse` sweep actually asks the form factor to carry.
+pub fn compute_blocks_with(
+    dac: &dyn ofpc_photonics::parts::HardwarePart,
+    adc: &dyn ofpc_photonics::parts::HardwarePart,
+    modulator: &dyn ofpc_photonics::parts::HardwarePart,
+    laser: &dyn ofpc_photonics::parts::HardwarePart,
+) -> Vec<BlockBudget> {
+    compute_blocks()
+        .into_iter()
+        .map(|b| match b.name.as_str() {
+            "dac" => BlockBudget::from_part(dac),
+            "adc" => BlockBudget::from_part(adc),
+            "tx-mzm" => BlockBudget::from_part(modulator),
+            "laser" => BlockBudget::from_part(laser),
+            _ => b,
+        })
+        .collect()
 }
 
 /// Budget-check result.

@@ -1,0 +1,78 @@
+//! Explore the hardware design space with the `ofpc-dse` component
+//! library: sweep three calibrated converter pairings across core sizes
+//! and wavelength counts, read the per-app Pareto frontier, and watch
+//! the lowerer bind *different* catalog parts to different stages of
+//! the same DNN when the whole catalog is on the table.
+//!
+//! Run with: `cargo run --example dse_sweep`
+
+use ofpc_apps::digital::ComputeModel;
+use ofpc_dse::{hardware_variant, run_sweep, App, ConverterChoice, SweepSpec};
+use ofpc_graph::lower::{lower, ErrorBudget, LowerConfig};
+use ofpc_par::WorkerPool;
+
+fn main() {
+    // 1. The design space: every catalog converter pairing (a 12-bit
+    //    precision part and two 8-bit parts at different speed/power
+    //    corners) × three photonic core sizes × two WDM widths, priced
+    //    for each Table-1 app. `run_sweep` parallelizes across the
+    //    worker pool and returns the same bytes for any worker count.
+    let spec = SweepSpec::e17();
+    let points = run_sweep(&WorkerPool::from_env(), &spec);
+    println!(
+        "swept {} design points ({} apps x {} converters x {} cores x {} wavelength counts)",
+        points.len(),
+        spec.apps.len(),
+        spec.converters.len(),
+        spec.core_sizes.len(),
+        spec.wavelength_counts.len()
+    );
+
+    // 2. The Pareto frontier: the non-dominated points per app on
+    //    (energy/request, batch latency, effective bits).
+    for p in points.iter().filter(|p| p.pareto && p.app == "dnn") {
+        println!(
+            "  dnn frontier: {:>11} core={:<2} wl={} -> {:7.1} pJ/req, {:6.2} us, {:.2} bits",
+            p.converter,
+            p.core_size,
+            p.wavelengths,
+            p.energy_per_request_j * 1e12,
+            p.latency_ps as f64 * 1e-6,
+            p.effective_bits
+        );
+    }
+
+    // 3. Per-stage selection: hand the lowerer *all three* pairings at
+    //    once. The DNN's hidden layers only need 3.5 effective bits, so
+    //    they get the cheap 8-bit DAC; the 7.2-bit output layer is out
+    //    of the 8-bit part's reach and escalates to the 12-bit one —
+    //    two different physical converters in one compiled plan.
+    let variants: Vec<_> = ConverterChoice::ALL
+        .iter()
+        .map(|&c| hardware_variant(c, 4))
+        .collect();
+    let graph = App::Dnn.build(16, 17);
+    let cfg = LowerConfig {
+        budget: ErrorBudget::realistic(),
+        model: variants[0].model.clone(),
+        digital: ComputeModel::edge_soc(),
+        variants,
+    };
+    let plan = lower(&graph, &cfg).expect("DNN lowers");
+    println!("\nmixed lowering of the 16-wide DNN:");
+    for s in &plan.stages {
+        println!(
+            "  {:>14} -> {:?} on {} ({:.2} predicted bits, {:.1} pJ)",
+            s.label,
+            s.target,
+            s.variant.as_deref().unwrap_or("digital DSP"),
+            s.predicted_bits,
+            s.energy_j * 1e12
+        );
+    }
+    println!(
+        "distinct variants bound: {:?} ({:.1} pJ/request total)",
+        plan.variants_used(),
+        plan.energy_per_request_j() * 1e12
+    );
+}

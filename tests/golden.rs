@@ -40,6 +40,11 @@ fn e14_telemetry_snapshot_matches_golden() {
 }
 
 #[test]
+fn e17_design_space_frontier_matches_golden() {
+    check("e17_mini");
+}
+
+#[test]
 fn fixtures_carry_the_report_schema_version() {
     for (name, _) in golden::cases() {
         let path = format!("results/golden/{name}.json");
