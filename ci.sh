@@ -57,6 +57,15 @@ run_no_warnings cargo bench --offline -q -p ofpc-bench --bench dse_sweep
 echo "==> E17 design-space exploration smoke run (expt_dse)"
 run_no_warnings cargo run --offline -q -p ofpc-bench --bin expt_dse
 
+echo "==> resilience integration gate (tests/resil.rs)"
+run_no_warnings cargo test --offline --test resil -q
+
+echo "==> resilience overhead gate (deterministic, energy gates, throughput vs BENCH_BASELINE.json)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench resil_overhead
+
+echo "==> E18 proactive-resilience smoke run (expt_resil)"
+run_no_warnings cargo run --offline -q -p ofpc-bench --bin expt_resil
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

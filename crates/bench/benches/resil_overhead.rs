@@ -1,0 +1,173 @@
+//! Bench gate: resilience-layer determinism, energy overhead, and
+//! throughput.
+//!
+//! Three checks, run as a `harness = false` binary so it can fail CI
+//! with a nonzero exit:
+//!
+//! 1. **Determinism** — the mini-E18 storm comparison at 4 workers must
+//!    be byte-identical to the 1-worker bytes: the whole redundancy
+//!    dance (set formation, first-home-wins arbitration, cancellation,
+//!    reconstruction) replays exactly on the `ofpc-par` pool.
+//! 2. **Energy-overhead gates** — the mini scenario's protection price
+//!    must stay within the ISSUE's contract: replica ≤ 2.1×, parity
+//!    ≤ 1.5× of the unprotected baseline, with parity strictly cheaper
+//!    than replication.
+//! 3. **Throughput regression** — one sequential mini-E18 comparison
+//!    (three serving runs under the same storm) must stay within
+//!    [`MAX_REGRESSION`] of the `resil_overhead_ms` figure pinned in
+//!    `BENCH_BASELINE.json`. The baseline file is shared with the other
+//!    gates, so this one reads and writes it as a JSON value tree,
+//!    preserving every key it does not own, with its own core stamp
+//!    (`resil_overhead_cores`). A missing file, missing key, core
+//!    mismatch, or `OFPC_BENCH_RECORD=1` re-records instead of failing.
+
+use ofpc_bench::resil::{run_e18, E18Config};
+use ofpc_par::WorkerPool;
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Gate: the sequential comparison may regress at most this much.
+const MAX_REGRESSION: f64 = 1.50;
+/// Trials per timing; the best (minimum) is the reported figure.
+const TIMING_REPS: usize = 10;
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_BASELINE.json");
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn best_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn comparison_kernel() {
+    let pool = WorkerPool::sequential();
+    let cfg = E18Config::mini();
+    black_box(run_e18(&pool, black_box(&cfg)));
+}
+
+fn check_determinism() {
+    let reference = ofpc_bench::resil::e18_mini(&WorkerPool::new(1));
+    let wide = ofpc_bench::resil::e18_mini(&WorkerPool::new(4));
+    assert!(
+        reference == wide,
+        "resil_overhead: 4-worker mini-E18 comparison diverged from the 1-worker bytes"
+    );
+    println!(
+        "resil_overhead: determinism OK (1-worker and 4-worker storms byte-identical, {} bytes)",
+        reference.len()
+    );
+}
+
+fn check_energy_gates() {
+    let rep = run_e18(&WorkerPool::sequential(), &E18Config::mini());
+    let replica = &rep.runs[1];
+    let parity = &rep.runs[2];
+    println!(
+        "resil_overhead: energy overhead replica {:.3}x (gate 2.1x), parity {:.3}x (gate 1.5x)",
+        replica.energy_overhead, parity.energy_overhead
+    );
+    assert!(
+        replica.energy_overhead <= 2.1,
+        "resil_overhead: replica energy overhead {:.3} above the 2.1x gate",
+        replica.energy_overhead
+    );
+    assert!(
+        parity.energy_overhead <= 1.5,
+        "resil_overhead: parity energy overhead {:.3} above the 1.5x gate",
+        parity.energy_overhead
+    );
+    assert!(
+        parity.energy_overhead < replica.energy_overhead,
+        "resil_overhead: coding must undercut full replication"
+    );
+}
+
+/// Fetch a numeric key from the baseline map, if present.
+fn get_num(map: &[(String, Value)], key: &str) -> Option<f64> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_f64())
+}
+
+/// Insert-or-replace a key in the baseline map.
+fn set_key(map: &mut Vec<(String, Value)>, key: &str, value: Value) {
+    match map.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => map.push((key.to_string(), value)),
+    }
+}
+
+fn check_throughput_regression() {
+    // Warm-up pass.
+    comparison_kernel();
+    let measured_ms = best_time(TIMING_REPS, comparison_kernel) * 1e3;
+    let measured_cores = cores();
+
+    let mut map: Vec<(String, Value)> = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Map(m)) => m,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+
+    let record_reason = if std::env::var_os("OFPC_BENCH_RECORD").is_some() {
+        Some("OFPC_BENCH_RECORD set".to_string())
+    } else {
+        match (
+            get_num(&map, "resil_overhead_cores"),
+            get_num(&map, "resil_overhead_ms"),
+        ) {
+            (Some(c), Some(want)) if c as usize == measured_cores => {
+                println!(
+                    "resil_overhead: mini-E18 comparison {measured_ms:.2} ms vs baseline \
+                     {want:.2} ms (gate {:.2} ms)",
+                    want * MAX_REGRESSION
+                );
+                assert!(
+                    measured_ms <= want * MAX_REGRESSION,
+                    "resil_overhead: storm-comparison throughput regressed: {measured_ms:.2} ms \
+                     vs baseline {want:.2} ms (+{:.0}% allowed); if intentional, re-pin with \
+                     OFPC_BENCH_RECORD=1",
+                    (MAX_REGRESSION - 1.0) * 100.0,
+                );
+                None
+            }
+            (Some(c), Some(_)) => Some(format!(
+                "baseline is from a {}-core machine, this one has {measured_cores}",
+                c as usize
+            )),
+            _ => Some("no resil_overhead baseline keys".to_string()),
+        }
+    };
+
+    if let Some(reason) = record_reason {
+        set_key(
+            &mut map,
+            "resil_overhead_cores",
+            Value::UInt(measured_cores as u64),
+        );
+        set_key(&mut map, "resil_overhead_ms", Value::Float(measured_ms));
+        let json = serde_json::to_string_pretty(&Value::Map(map)).expect("serialize baseline");
+        std::fs::write(BASELINE_PATH, json + "\n").expect("write BENCH_BASELINE.json");
+        println!(
+            "resil_overhead: recorded new baseline ({reason}): {measured_ms:.2} ms on \
+             {measured_cores} core(s)"
+        );
+    }
+}
+
+fn main() {
+    check_determinism();
+    check_energy_gates();
+    check_throughput_regression();
+    println!("resil_overhead: all gates passed");
+}

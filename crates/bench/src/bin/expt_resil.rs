@@ -1,0 +1,104 @@
+//! E18 — proactive multipath resilience under a correlated-cut fault
+//! storm.
+//!
+//! Runs the full [`ofpc_bench::resil::E18Config`] scenario: one seeded
+//! storm (eight single-cut bursts over 4 ms) replayed byte-identically
+//! against the unprotected baseline, full replication, and XOR-parity
+//! coding, on the same hub-and-spoke plant with the same arrivals.
+//!
+//! Acceptance gates (the ISSUE's resilience contract):
+//!
+//! * the storm forces failures (shed/degraded/unfinished) on the
+//!   unprotected baseline — it is not a storm in name only;
+//! * both protected modes finish with **zero** failed requests and
+//!   every redundancy-set member accounted for;
+//! * the energy price of protection stays within replica ≤ 2.1× and
+//!   parity ≤ 1.5× of the unprotected baseline's joules per completed
+//!   request.
+//!
+//! The full comparison document lands in `results/e18_resil.json`
+//! under the versioned envelope.
+
+use ofpc_bench::resil::{run_e18, E18Config};
+use ofpc_bench::table::{dump_json, Table};
+use ofpc_par::WorkerPool;
+
+fn main() {
+    let pool = WorkerPool::from_env();
+    let cfg = E18Config::full();
+    println!(
+        "E18: resilience under a {}-burst storm ({} workers)",
+        cfg.storm.bursts,
+        pool.workers()
+    );
+    let rep = run_e18(&pool, &cfg);
+
+    let mut t = Table::new(
+        "E18 — availability and energy under one byte-identical storm",
+        &[
+            "mode",
+            "arrivals",
+            "completed",
+            "failed",
+            "availability",
+            "goodput",
+            "p99",
+            "energy/req",
+            "overhead",
+        ],
+    );
+    for r in &rep.runs {
+        t.row(&[
+            r.mode.clone(),
+            r.report.arrivals.to_string(),
+            r.report.completed.to_string(),
+            r.failed.to_string(),
+            format!("{:.4}", r.availability),
+            format!("{:.2} Mrps", r.goodput_rps / 1e6),
+            r.p99_latency_us
+                .map(|v| format!("{v:.1} us"))
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{:.2} nJ", r.energy_per_completed_j * 1e9),
+            format!("{:.3}x", r.energy_overhead),
+        ]);
+    }
+    t.print();
+
+    let base = &rep.runs[0];
+    assert!(base.failed > 0, "E18: the storm must hurt the baseline");
+    assert!(
+        rep.link_cuts >= cfg.storm.bursts,
+        "E18: expected at least one cut per burst"
+    );
+    for r in &rep.runs[1..] {
+        assert_eq!(
+            r.failed, 0,
+            "E18: {} must ride out the storm with zero lost work",
+            r.mode
+        );
+        assert_eq!(r.report.arrivals, r.report.completed);
+        assert_eq!(r.resil.unsettled_sets, 0, "E18: unaccounted member");
+        assert!(r.resil.link_cuts_seen as usize >= cfg.storm.bursts);
+    }
+    let replica = &rep.runs[1];
+    let parity = &rep.runs[2];
+    assert!(replica.resil.replica_sets > 0 && replica.resil.losses_absorbed > 0);
+    assert!(parity.resil.parity_sets > 0 && parity.resil.reconstructions > 0);
+    assert!(
+        replica.energy_overhead <= 2.1,
+        "E18: replica overhead {:.3} above the 2.1x gate",
+        replica.energy_overhead
+    );
+    assert!(
+        parity.energy_overhead <= 1.5,
+        "E18: parity overhead {:.3} above the 1.5x gate",
+        parity.energy_overhead
+    );
+    assert!(
+        parity.energy_overhead < replica.energy_overhead,
+        "E18: coding must beat full replication on energy"
+    );
+
+    dump_json("e18_resil", &rep);
+    println!("E18: wrote results/e18_resil.json");
+}

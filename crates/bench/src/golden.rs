@@ -1,4 +1,4 @@
-//! Miniature replicas of the E12/E13/E14 experiment scenarios for the
+//! Miniature replicas of the E12/E13/E14/E17/E18 experiment scenarios for the
 //! golden-replay regression suite and the parallel differential tests.
 //!
 //! Each `*_mini` function is a scaled-down (µs-horizon) version of the
@@ -172,6 +172,12 @@ pub fn e14_mini(pool: &WorkerPool) -> String {
     })
 }
 
+/// Mini E18: the resilience comparison miniature — unprotected vs
+/// replica vs XOR-parity under one byte-identical fault storm.
+pub fn e18_mini(pool: &WorkerPool) -> String {
+    crate::resil::e18_mini(pool)
+}
+
 /// Mini E17: the design-space sweep miniature — 2 apps × 3 converter
 /// pairings × 2 core sizes × 2 wavelength counts with the per-app
 /// Pareto frontier marked.
@@ -190,6 +196,7 @@ pub fn cases() -> Vec<GoldenCase> {
         ("e13_mini", e13_mini),
         ("e14_mini", e14_mini),
         ("e17_mini", e17_mini),
+        ("e18_mini", e18_mini),
     ]
 }
 
@@ -238,6 +245,9 @@ mod tests {
     #[test]
     fn case_names_are_unique_and_stable() {
         let names: Vec<&str> = cases().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["e12_mini", "e13_mini", "e14_mini", "e17_mini"]);
+        assert_eq!(
+            names,
+            vec!["e12_mini", "e13_mini", "e14_mini", "e17_mini", "e18_mini"]
+        );
     }
 }

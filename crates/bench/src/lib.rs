@@ -6,6 +6,7 @@
 //! driver.
 
 pub mod golden;
+pub mod resil;
 pub mod table;
 
 pub use table::Table;

@@ -40,7 +40,8 @@ pub use ilp::solve_exact;
 pub use inventory::TransponderInventory;
 pub use options::{enumerate_options, enumerate_options_filtered, AllocOption, ProblemInstance};
 pub use protection::{
-    disjoint_pair, surviving_slots, ProtectedPair, RecoveryParams, RecoveryTimeline,
+    disjoint_pair, protected_paths, protected_paths_filtered, surviving_slots, ProtectedPair,
+    ProtectedPaths, ProtectionMode, RecoveryParams, RecoveryTimeline,
 };
 pub use teupdate::{ApplyError, ApplyReport, FailedCmd};
 

@@ -17,7 +17,7 @@
 //! [`RecoveryParams::ttr_bound_ps`] is what experiment E13 checks p99
 //! time-to-recovery against.
 
-use ofpc_net::routing::{path_links, shortest_path_nodes, shortest_path_nodes_filtered};
+use ofpc_net::routing::{k_disjoint_paths, k_disjoint_paths_filtered, RoutedPath};
 use ofpc_net::{LinkId, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -34,10 +34,37 @@ pub struct ProtectedPair {
     pub backup_links: Option<Vec<LinkId>>,
 }
 
+/// How a protected pair can actually be protected, given what the
+/// topology offers. The serving layers use this to pick a redundancy
+/// strategy instead of silently running unprotected when
+/// `backup_links` is `None` (tree topologies, degree-1 sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtectionMode {
+    /// ≥ 2 link-disjoint paths exist: redundant copies ride different
+    /// fibers and any single cut is survivable.
+    DisjointMultipath,
+    /// Only one path exists: redundant copies must serialize on the
+    /// same fibers — engine flaps are survivable, fiber cuts are not.
+    SerializedSamePath,
+    /// The destination is unreachable outright.
+    Unprotected,
+}
+
 impl ProtectedPair {
     /// Whether a cut of `link` takes down the primary path.
     pub fn primary_uses(&self, link: LinkId) -> bool {
         self.primary_links.contains(&link)
+    }
+
+    /// The strongest protection the topology supports for this pair —
+    /// the graceful-degradation classification consumers must act on
+    /// (never treat `backup_links: None` as "run unprotected").
+    pub fn protection_mode(&self) -> ProtectionMode {
+        if self.backup_links.is_some() {
+            ProtectionMode::DisjointMultipath
+        } else {
+            ProtectionMode::SerializedSamePath
+        }
     }
 
     /// The path to use given a set of downed links: primary if intact,
@@ -54,27 +81,91 @@ impl ProtectedPair {
     }
 }
 
+/// A (src, dst) pair protected across up to `k` pairwise link-disjoint
+/// paths — the k-path generalization of [`ProtectedPair`], used by the
+/// proactive multipath layer (`ofpc-resil`) to pin redundant copies of
+/// one request to different fibers *before* any fault occurs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtectedPaths {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Pairwise link-disjoint paths, delay-shortest first. Non-empty.
+    pub paths: Vec<RoutedPath>,
+}
+
+impl ProtectedPaths {
+    /// Paths whose links all survive the given downed set, shortest
+    /// first (the proactive analogue of `surviving_path`).
+    pub fn surviving(&self, down: &[LinkId]) -> Vec<&RoutedPath> {
+        self.paths.iter().filter(|p| !p.uses_any(down)).collect()
+    }
+
+    /// Link-disjoint path diversity (1 = no redundancy possible).
+    pub fn diversity(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The protection classification consumers branch on.
+    pub fn protection_mode(&self) -> ProtectionMode {
+        if self.paths.len() >= 2 {
+            ProtectionMode::DisjointMultipath
+        } else {
+            ProtectionMode::SerializedSamePath
+        }
+    }
+}
+
+/// Precompute up to `k ≥ 1` pairwise link-disjoint paths for
+/// (src, dst), shortest first. Returns `None` when `dst` is
+/// unreachable.
+pub fn protected_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Option<ProtectedPaths> {
+    assert!(k >= 1, "need at least one path");
+    let paths = k_disjoint_paths(topo, src, dst, k);
+    if paths.is_empty() {
+        return None;
+    }
+    Some(ProtectedPaths { src, dst, paths })
+}
+
+/// [`protected_paths`] over the links accepted by `link_ok` — the
+/// replanning entry point once some fibers are already down.
+pub fn protected_paths_filtered(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    link_ok: &dyn Fn(LinkId) -> bool,
+) -> Option<ProtectedPaths> {
+    assert!(k >= 1, "need at least one path");
+    let paths = k_disjoint_paths_filtered(topo, src, dst, k, link_ok);
+    if paths.is_empty() {
+        return None;
+    }
+    Some(ProtectedPaths { src, dst, paths })
+}
+
 /// Precompute a primary path and link-disjoint backup for (src, dst):
-/// primary = delay-shortest path; backup = shortest path over the
-/// topology with the primary's links removed. Returns `None` when no
-/// path exists at all; `backup_*` are `None` when the pair is not
+/// primary = delay-shortest path; backup = the next link-disjoint path
+/// ([`k_disjoint_paths`] with k = 2). Returns `None` when no path
+/// exists at all; `backup_*` are `None` when the pair is not
 /// 2-link-connected.
 pub fn disjoint_pair(topo: &Topology, src: NodeId, dst: NodeId) -> Option<ProtectedPair> {
-    let primary_nodes = shortest_path_nodes(topo, src, dst)?;
-    let primary_links = path_links(topo, &primary_nodes).expect("path nodes are adjacent");
-    let exclude = primary_links.clone();
-    let backup_nodes =
-        shortest_path_nodes_filtered(topo, src, dst, &|l: LinkId| !exclude.contains(&l));
-    let backup_links = backup_nodes
-        .as_ref()
-        .map(|nodes| path_links(topo, nodes).expect("path nodes are adjacent"));
+    let protected = protected_paths(topo, src, dst, 2)?;
+    let mut it = protected.paths.into_iter();
+    let primary = it.next().expect("protected_paths is non-empty");
+    let backup = it.next();
     Some(ProtectedPair {
         src,
         dst,
-        primary_nodes,
-        primary_links,
-        backup_nodes,
-        backup_links,
+        primary_nodes: primary.nodes,
+        primary_links: primary.links,
+        backup_nodes: backup.as_ref().map(|p| p.nodes.clone()),
+        backup_links: backup.map(|p| p.links),
     })
 }
 
@@ -235,6 +326,69 @@ mod tests {
         let pair = disjoint_pair(&t, NodeId(0), NodeId(2)).unwrap();
         assert!(pair.backup_nodes.is_none());
         assert_eq!(pair.surviving_path(&[pair.primary_links[0]]), None);
+    }
+
+    #[test]
+    fn protection_mode_classifies_tree_topologies() {
+        // A tree (star) offers no disjoint backup anywhere: the
+        // classification must say "serialize on the same path", never
+        // silently pretend the pair is protected — and a 2-connected
+        // pair must classify as disjoint multipath.
+        let mut t = Topology::new();
+        let hub = t.add_node("hub");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(hub, a, 10.0);
+        t.add_link(hub, b, 10.0);
+        let pair = disjoint_pair(&t, a, b).unwrap();
+        assert!(pair.backup_links.is_none());
+        assert_eq!(pair.protection_mode(), ProtectionMode::SerializedSamePath);
+        let paths = protected_paths(&t, a, b, 3).unwrap();
+        assert_eq!(paths.diversity(), 1);
+        assert_eq!(paths.protection_mode(), ProtectionMode::SerializedSamePath);
+
+        let fig1 = Topology::fig1();
+        let fa = fig1.find_node("A").unwrap();
+        let fd = fig1.find_node("D").unwrap();
+        let pair = disjoint_pair(&fig1, fa, fd).unwrap();
+        assert_eq!(pair.protection_mode(), ProtectionMode::DisjointMultipath);
+    }
+
+    #[test]
+    fn protected_paths_survive_single_cuts() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let d = t.find_node("D").unwrap();
+        let p = protected_paths(&t, a, d, 4).unwrap();
+        assert_eq!(p.diversity(), 2);
+        assert_eq!(p.protection_mode(), ProtectionMode::DisjointMultipath);
+        // Any single-link cut leaves at least one path standing.
+        for path in &p.paths {
+            for &cut in &path.links {
+                assert_eq!(p.surviving(&[cut]).len(), 1);
+            }
+        }
+        // Cut one link from each path: nothing survives.
+        let down = [p.paths[0].links[0], p.paths[1].links[0]];
+        assert!(p.surviving(&down).is_empty());
+        // Unreachable pair: no protection at all.
+        let mut iso = Topology::new();
+        let x = iso.add_node("x");
+        let y = iso.add_node("y");
+        assert!(protected_paths(&iso, x, y, 2).is_none());
+    }
+
+    #[test]
+    fn filtered_protection_replans_around_downed_fibers() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let d = t.find_node("D").unwrap();
+        let full = protected_paths(&t, a, d, 2).unwrap();
+        let down = full.paths[0].links.clone();
+        let ok = |l| !down.contains(&l);
+        let re = protected_paths_filtered(&t, a, d, 2, &ok).unwrap();
+        assert_eq!(re.diversity(), 1, "one fiber route left after the cut");
+        assert!(re.paths[0].links.iter().all(|&l| ok(l)));
     }
 
     #[test]

@@ -22,13 +22,19 @@
 //!   allocator excluding failed sites, re-install the plan, and account
 //!   time-to-recovery ([`ofpc_controller::RecoveryTimeline`]) and
 //!   availability.
+//! * [`storm`] — seeded fault *storms*: bursts of correlated fiber cuts
+//!   with engine fails and analog drift riding along, the adversarial
+//!   input the proactive multipath layer (`ofpc-resil`) is gated
+//!   against.
 
 pub mod drift;
 pub mod inject;
 pub mod orchestrator;
 pub mod plan;
+pub mod storm;
 
 pub use drift::{EdfaGainDrift, LaserDroop, PdDegradation};
 pub use inject::inject;
 pub use orchestrator::{trace_recovery, AvailabilityLedger, Orchestrator, RecoveryOutcome};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, MtbfSpec};
+pub use storm::{generate_storm, StormSpec};

@@ -127,6 +127,134 @@ pub fn shortest_path_nodes_filtered(
     Some(path)
 }
 
+/// A concrete routed path: the node sequence, the exact links taken
+/// (parallel spans are distinguished), and the end-to-end delay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutedPath {
+    pub nodes: Vec<NodeId>,
+    pub links: Vec<LinkId>,
+    pub delay_ps: u64,
+}
+
+impl RoutedPath {
+    /// Whether this path shares any link with `other`.
+    pub fn shares_link_with(&self, other: &RoutedPath) -> bool {
+        self.links.iter().any(|l| other.links.contains(l))
+    }
+
+    /// Whether any of `down` takes this path out.
+    pub fn uses_any(&self, down: &[LinkId]) -> bool {
+        self.links.iter().any(|l| down.contains(l))
+    }
+}
+
+/// Delay-shortest route from `src` to `dst` over links accepted by
+/// `link_ok`, tracking the *exact* links taken — unlike
+/// [`shortest_path_nodes_filtered`] + [`path_links`], which re-resolves
+/// node pairs and may pick an excluded parallel span. This is the
+/// primitive behind k-disjoint enumeration, where exclusions must bind
+/// to link identities, not node adjacency.
+pub fn shortest_route_filtered(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    link_ok: &dyn Fn(LinkId) -> bool,
+) -> Option<RoutedPath> {
+    if src == dst {
+        return Some(RoutedPath {
+            nodes: vec![src],
+            links: Vec::new(),
+            delay_ps: 0,
+        });
+    }
+    // Dijkstra with (predecessor node, arriving link) tracking.
+    let mut dist: HashMap<NodeId, u64> = HashMap::new();
+    let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, u32)> = BinaryHeap::new();
+    dist.insert(src, 0);
+    heap.push((std::cmp::Reverse(0), src.0));
+    while let Some((std::cmp::Reverse(d), node)) = heap.pop() {
+        let node = NodeId(node);
+        if d > *dist.get(&node).unwrap_or(&u64::MAX) {
+            continue;
+        }
+        if node == dst {
+            break;
+        }
+        for (link_id, next) in topo.neighbors(node) {
+            if !link_ok(link_id) {
+                continue;
+            }
+            let nd = d + topo.link(link_id).delay_ps();
+            if nd < *dist.get(&next).unwrap_or(&u64::MAX) {
+                dist.insert(next, nd);
+                prev.insert(next, (node, link_id));
+                heap.push((std::cmp::Reverse(nd), next.0));
+            }
+        }
+    }
+    let delay_ps = *dist.get(&dst)?;
+    let mut nodes = vec![dst];
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, l) = prev[&cur];
+        links.push(l);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    links.reverse();
+    Some(RoutedPath {
+        nodes,
+        links,
+        delay_ps,
+    })
+}
+
+/// Up to `k` pairwise link-disjoint `src → dst` paths, shortest first:
+/// greedy iterative Dijkstra, removing each found path's links before
+/// the next round (the classic link-disjoint generalization of
+/// `disjoint_pair`; greedy is not maximal on adversarial graphs, but it
+/// is deterministic and exact for the 2-connected topologies here).
+/// Returns fewer than `k` paths when the topology runs out of disjoint
+/// capacity, and an empty vector when `dst` is unreachable.
+pub fn k_disjoint_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<RoutedPath> {
+    k_disjoint_paths_filtered(topo, src, dst, k, &|_| true)
+}
+
+/// [`k_disjoint_paths`] over the links accepted by `link_ok` (cut
+/// fibers are excluded before disjointness is even considered).
+pub fn k_disjoint_paths_filtered(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    link_ok: &dyn Fn(LinkId) -> bool,
+) -> Vec<RoutedPath> {
+    let mut out: Vec<RoutedPath> = Vec::new();
+    if src == dst {
+        if k > 0 {
+            out.push(RoutedPath {
+                nodes: vec![src],
+                links: Vec::new(),
+                delay_ps: 0,
+            });
+        }
+        return out;
+    }
+    let mut used: Vec<LinkId> = Vec::new();
+    while out.len() < k {
+        let ok = |l: LinkId| link_ok(l) && !used.contains(&l);
+        let Some(path) = shortest_route_filtered(topo, src, dst, &ok) else {
+            break;
+        };
+        used.extend(&path.links);
+        out.push(path);
+    }
+    out
+}
+
 /// The links traversed by a node path (adjacent pairs resolved through
 /// the topology; picks the lowest-delay parallel link). Returns `None`
 /// if two consecutive nodes are not adjacent.
@@ -319,6 +447,80 @@ mod tests {
         let sp = shortest_paths_filtered(&t, a, &ok);
         assert!(sp.contains_key(&d));
         assert!(!sp.contains_key(&b));
+    }
+
+    #[test]
+    fn fig1_yields_two_disjoint_paths() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let d = t.find_node("D").unwrap();
+        let paths = k_disjoint_paths(&t, a, d, 4);
+        // fig1 is 2-connected between A and D: exactly two disjoint
+        // paths (via B and via C), shortest first.
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].delay_ps <= paths[1].delay_ps);
+        assert!(!paths[0].shares_link_with(&paths[1]));
+        for p in &paths {
+            assert_eq!(p.nodes.first(), Some(&a));
+            assert_eq!(p.nodes.last(), Some(&d));
+            assert_eq!(p.links.len(), p.nodes.len() - 1);
+        }
+        assert_ne!(paths[0].nodes[1], paths[1].nodes[1], "distinct middles");
+    }
+
+    #[test]
+    fn line_yields_one_path_ring_yields_two() {
+        let line = Topology::line(3, 50.0);
+        assert_eq!(k_disjoint_paths(&line, NodeId(0), NodeId(2), 3).len(), 1);
+        let ring = Topology::ring(5, 50.0);
+        let paths = k_disjoint_paths(&ring, NodeId(0), NodeId(2), 3);
+        assert_eq!(paths.len(), 2);
+        assert!(!paths[0].shares_link_with(&paths[1]));
+        // Clockwise (2 hops) before counter-clockwise (3 hops).
+        assert_eq!(paths[0].links.len(), 2);
+        assert_eq!(paths[1].links.len(), 3);
+    }
+
+    #[test]
+    fn parallel_spans_are_distinct_disjoint_paths() {
+        // Two parallel fibers between the same pair: node-identical
+        // paths, but link-disjoint — only link-aware enumeration finds
+        // the second one.
+        let mut t = Topology::new();
+        let x = t.add_node("x");
+        let y = t.add_node("y");
+        let l0 = t.add_link(x, y, 10.0);
+        let l1 = t.add_link(x, y, 20.0);
+        let paths = k_disjoint_paths(&t, x, y, 4);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].links, vec![l0]);
+        assert_eq!(paths[1].links, vec![l1]);
+        assert_eq!(paths[0].nodes, paths[1].nodes);
+    }
+
+    #[test]
+    fn disjoint_paths_respect_the_link_filter() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let b = t.find_node("B").unwrap();
+        let d = t.find_node("D").unwrap();
+        let b_links: Vec<LinkId> = t.neighbors(b).into_iter().map(|(l, _)| l).collect();
+        let ok = |l: LinkId| !b_links.contains(&l);
+        let paths = k_disjoint_paths_filtered(&t, a, d, 4, &ok);
+        assert_eq!(paths.len(), 1, "only the C route survives the filter");
+        assert!(!paths[0].nodes.contains(&b));
+        assert!(paths[0].links.iter().all(|&l| ok(l)));
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let t = Topology::fig1();
+        let a = t.find_node("A").unwrap();
+        let paths = k_disjoint_paths(&t, a, a, 3);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].links.is_empty());
+        assert_eq!(paths[0].delay_ps, 0);
+        assert!(!paths[0].uses_any(&[LinkId(0)]));
     }
 
     #[test]

@@ -8,8 +8,15 @@
 //! O(1) approximation of weighted fair queueing: under overload each
 //! tenant's goodput converges to `weight_i / Σ weight` of capacity, while
 //! an underloaded tenant's unused share flows to the others.
+//!
+//! Admission is also where a tenant's resilience contract is selected:
+//! each tenant carries a [`RedundancyMode`] (default
+//! [`RedundancyMode::Unprotected`]) that the downstream batcher and
+//! redundancy layer consult — protection is a per-tenant admission-time
+//! policy, not a per-request flag.
 
 use crate::request::{ComputeRequest, ShedReason, TenantId};
+use ofpc_resil::RedundancyMode;
 use std::collections::VecDeque;
 
 /// Per-tenant admission state.
@@ -20,6 +27,8 @@ struct TenantQueue {
     weight: u32,
     /// DRR deficit counter, in request-credits scaled by 1000.
     deficit: u64,
+    /// The resilience contract this tenant admitted under.
+    policy: RedundancyMode,
 }
 
 /// The admission controller over all tenants.
@@ -52,6 +61,7 @@ impl AdmissionControl {
                     capacity,
                     weight,
                     deficit: 0,
+                    policy: RedundancyMode::Unprotected,
                 }
             })
             .collect();
@@ -64,6 +74,17 @@ impl AdmissionControl {
 
     pub fn tenant_count(&self) -> usize {
         self.tenants.len()
+    }
+
+    /// Select `tenant`'s resilience contract (defaults to
+    /// [`RedundancyMode::Unprotected`]).
+    pub fn set_policy(&mut self, tenant: TenantId, policy: RedundancyMode) {
+        self.tenants[tenant.0 as usize].policy = policy;
+    }
+
+    /// The resilience contract `tenant` admitted under.
+    pub fn policy_of(&self, tenant: TenantId) -> RedundancyMode {
+        self.tenants[tenant.0 as usize].policy
     }
 
     /// Admit or shed an arriving request. Returns `true` when admitted.
@@ -248,6 +269,15 @@ mod tests {
         // live queue. Construction refuses the config outright rather
         // than letting the scheduler discover the black hole at runtime.
         let _ = AdmissionControl::new(&[(16, 3), (16, 0)]);
+    }
+
+    #[test]
+    fn redundancy_policy_is_per_tenant_and_defaults_unprotected() {
+        let mut ac = AdmissionControl::new(&[(4, 1), (4, 1)]);
+        assert_eq!(ac.policy_of(TenantId(0)), RedundancyMode::Unprotected);
+        ac.set_policy(TenantId(1), RedundancyMode::Replica);
+        assert_eq!(ac.policy_of(TenantId(0)), RedundancyMode::Unprotected);
+        assert_eq!(ac.policy_of(TenantId(1)), RedundancyMode::Replica);
     }
 
     #[test]

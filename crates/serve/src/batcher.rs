@@ -10,6 +10,7 @@
 //! size-or-timeout rule digital inference servers use.
 
 use crate::request::{BatchClass, ComputeRequest};
+use ofpc_resil::ResilTag;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -41,6 +42,9 @@ pub struct Batch {
     pub requests: Vec<ComputeRequest>,
     /// When the batch was closed, ps.
     pub closed_ps: u64,
+    /// Redundancy-set membership, when this batch is one member of a
+    /// replica/parity set (`None` for ordinary unprotected batches).
+    pub resil: Option<ResilTag>,
 }
 
 impl Batch {
@@ -52,12 +56,15 @@ impl Batch {
         self.requests.is_empty()
     }
 
-    /// Earliest member deadline — what EDF scheduling sorts by.
+    /// Earliest member deadline — what EDF scheduling sorts by. A
+    /// requestless parity member inherits its set's deadline through
+    /// the tag, so the coded group is not starved behind real batches.
     pub fn deadline_ps(&self) -> u64 {
         self.requests
             .iter()
             .map(|r| r.deadline_ps)
             .min()
+            .or_else(|| self.resil.map(|t| t.deadline_ps))
             .unwrap_or(u64::MAX)
     }
 
@@ -80,11 +87,16 @@ struct OpenBatch {
 }
 
 /// The dynamic batcher across all compatibility classes.
+///
+/// Open batches are keyed by `(redundancy mode rank, class)`: requests
+/// of protected and unprotected tenants never share a batch, because a
+/// redundancy set must cover every member of its batch (one tenant's
+/// replica cannot silently replicate another tenant's work).
 #[derive(Debug)]
 pub struct Batcher {
     policy: BatchPolicy,
     /// BTreeMap for deterministic iteration order across runs.
-    open: BTreeMap<BatchClass, OpenBatch>,
+    open: BTreeMap<(u8, BatchClass), OpenBatch>,
     closed: Vec<Batch>,
 }
 
@@ -103,20 +115,29 @@ impl Batcher {
     }
 
     /// Add a request to its class's open batch, closing the batch when
-    /// it fills.
+    /// it fills. Unprotected shorthand for [`Batcher::push_with_mode`].
     pub fn push(&mut self, req: ComputeRequest, now_ps: u64) {
+        self.push_with_mode(req, 0, now_ps);
+    }
+
+    /// Add a request under its tenant's redundancy-mode rank (see
+    /// `ofpc_resil::RedundancyMode::rank`): batches stay pure per mode
+    /// so the redundancy layer can expand whole batches into sets.
+    pub fn push_with_mode(&mut self, req: ComputeRequest, mode_rank: u8, now_ps: u64) {
         let class = req.batch_class();
-        let entry = self.open.entry(class).or_insert_with(|| OpenBatch {
+        let key = (mode_rank, class);
+        let entry = self.open.entry(key).or_insert_with(|| OpenBatch {
             requests: Vec::new(),
             opened_ps: now_ps,
         });
         entry.requests.push(req);
         if entry.requests.len() >= self.policy.max_batch {
-            let done = self.open.remove(&class).expect("just inserted");
+            let done = self.open.remove(&key).expect("just inserted");
             self.closed.push(Batch {
                 class,
                 requests: done.requests,
                 closed_ps: now_ps,
+                resil: None,
             });
         }
     }
@@ -124,18 +145,19 @@ impl Batcher {
     /// Close any open batch whose oldest member has waited out the
     /// policy timeout.
     pub fn flush_timeouts(&mut self, now_ps: u64) {
-        let due: Vec<BatchClass> = self
+        let due: Vec<(u8, BatchClass)> = self
             .open
             .iter()
             .filter(|(_, b)| now_ps.saturating_sub(b.opened_ps) >= self.policy.max_wait_ps)
-            .map(|(&c, _)| c)
+            .map(|(&k, _)| k)
             .collect();
-        for class in due {
-            let b = self.open.remove(&class).expect("listed above");
+        for key in due {
+            let b = self.open.remove(&key).expect("listed above");
             self.closed.push(Batch {
-                class,
+                class: key.1,
                 requests: b.requests,
                 closed_ps: now_ps,
+                resil: None,
             });
         }
     }
@@ -144,13 +166,14 @@ impl Batcher {
     /// capacity — holding requests while transponders sit idle only adds
     /// latency).
     pub fn flush_all(&mut self, now_ps: u64) {
-        let classes: Vec<BatchClass> = self.open.keys().copied().collect();
-        for class in classes {
-            let b = self.open.remove(&class).expect("listed above");
+        let keys: Vec<(u8, BatchClass)> = self.open.keys().copied().collect();
+        for key in keys {
+            let b = self.open.remove(&key).expect("listed above");
             self.closed.push(Batch {
-                class,
+                class: key.1,
                 requests: b.requests,
                 closed_ps: now_ps,
+                resil: None,
             });
         }
     }
@@ -267,6 +290,42 @@ mod tests {
         b.push(r2, 0);
         let closed = b.take_closed();
         assert_eq!(closed[0].deadline_ps(), 300);
+    }
+
+    #[test]
+    fn redundancy_modes_do_not_mix_in_one_batch() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 2,
+            max_wait_ps: 1_000,
+        });
+        // Same class, different tenant protection modes: kept apart.
+        b.push_with_mode(req(1, 8, 0), 0, 0);
+        b.push_with_mode(req(2, 8, 0), 1, 0);
+        assert!(b.take_closed().is_empty());
+        assert_eq!(b.open_len(), 2);
+        b.push_with_mode(req(3, 8, 0), 1, 0); // fills the rank-1 batch
+        let closed = b.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].len(), 2);
+        assert!(closed[0].resil.is_none(), "tagging happens at expansion");
+    }
+
+    #[test]
+    fn empty_batch_deadline_comes_from_the_resil_tag() {
+        use ofpc_net::NodeId;
+        let parity = Batch {
+            class: req(1, 8, 0).batch_class(),
+            requests: Vec::new(),
+            closed_ps: 0,
+            resil: Some(ResilTag {
+                set: 1,
+                member: 2,
+                pin: NodeId(3),
+                phantom: 4,
+                deadline_ps: 777,
+            }),
+        };
+        assert_eq!(parity.deadline_ps(), 777);
     }
 
     #[test]

@@ -43,5 +43,7 @@ pub use batcher::{Batch, BatchPolicy, Batcher};
 pub use metrics::{MetricsSink, ServeReport, TenantReport};
 pub use parsweep::{run_sweep, SweepScenario};
 pub use request::{BatchClass, ComputeRequest, Outcome, RequestId, ShedReason, TenantId};
-pub use runtime::{EngineFaultEvent, RetryPolicy, ServeConfig, ServeRuntime, TenantSpec};
+pub use runtime::{
+    EngineFaultEvent, ResilSummary, RetryPolicy, ServeConfig, ServeRuntime, TenantSpec,
+};
 pub use scheduler::{Dispatch, Scheduler, ServiceModel, SiteSpec};

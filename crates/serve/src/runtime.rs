@@ -17,7 +17,7 @@
 
 use crate::admission::AdmissionControl;
 use crate::arrivals::{ArrivalProcess, ArrivalSpec};
-use crate::batcher::{BatchPolicy, Batcher};
+use crate::batcher::{Batch, BatchPolicy, Batcher};
 use crate::metrics::{MetricsSink, ServeReport};
 use crate::request::{ComputeRequest, Outcome, RequestId, ShedReason, TenantId};
 use crate::scheduler::{Scheduler, ServiceModel, SiteSpec};
@@ -25,14 +25,19 @@ use ofpc_apps::digital::ComputeModel;
 use ofpc_core::OnFiberNetwork;
 use ofpc_engine::dot::{DotProductUnit, DotUnitConfig};
 use ofpc_engine::Primitive;
+use ofpc_faults::{FaultKind, FaultPlan};
 use ofpc_net::routing::shortest_paths;
-use ofpc_net::NodeId;
+use ofpc_net::{LinkId, NodeId};
 use ofpc_photonics::SimRng;
+use ofpc_resil::{
+    split_groups, DoneAction, LostAction, MultipathPlan, ReconstructModel, RedundancyMode,
+    ResilTag, SetKind, WorkLedger,
+};
 use ofpc_telemetry::{track, Counter, Telemetry};
 use ofpc_transponder::compute::ComputeTransponderConfig;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// One tenant's serving contract.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,6 +138,12 @@ struct PendingBatch {
     closed_ps: u64,
     dispatched_ps: u64,
     start_ps: u64,
+    /// Redundancy-set membership, when this batch is a set member.
+    resil: Option<ResilTag>,
+    /// The fiber links the batch rides between front-end and site
+    /// (empty when no multipath plan is installed): a cut on any of
+    /// them before delivery loses the batch.
+    route: Vec<LinkId>,
 }
 
 /// Event kinds, ordered deterministically via (time, seq).
@@ -151,6 +162,11 @@ enum Event {
         node: NodeId,
         up: bool,
     },
+    /// Fiber cut / splice on one link (the injected storm plan).
+    LinkFault {
+        link: LinkId,
+        up: bool,
+    },
     /// Results of pending batch `key` reach the requesters.
     Deliver {
         key: u64,
@@ -159,6 +175,43 @@ enum Event {
     Retry {
         key: u64,
     },
+}
+
+/// What the redundancy layer did during a run, reported alongside the
+/// [`ServeReport`] by [`ServeRuntime::run_with_resil`]. All counters
+/// are deterministic functions of (config, storm, policies).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilSummary {
+    /// Redundancy sets formed, by kind.
+    pub replica_sets: u64,
+    pub parity_sets: u64,
+    /// Sets formed with only one usable entry path (serialized
+    /// same-path fallback: survives engine faults, not a severed span).
+    pub serialized_fallback_sets: u64,
+    /// Protected batches admitted with *no* usable planned path — run
+    /// unprotected, with a telemetry warning.
+    pub unprotected_downgrades: u64,
+    /// Late duplicates cancelled before launch (free) / mid-flight
+    /// (energy already burned).
+    pub duplicates_cancelled_prelaunch: u64,
+    pub duplicates_cancelled_inflight: u64,
+    /// Deliveries of already-complete sets, suppressed without effect.
+    pub duplicate_deliveries_suppressed: u64,
+    /// Member losses redundancy absorbed with zero client impact.
+    pub losses_absorbed: u64,
+    /// Parity reconstructions performed / requests recovered by them.
+    pub reconstructions: u64,
+    pub reconstructed_requests: u64,
+    /// Sets that lost more members than redundancy covers; their
+    /// requests re-entered admission.
+    pub sets_lost: u64,
+    pub requeued_requests: u64,
+    /// Digital XOR-reconstruction energy, J.
+    pub reconstruct_energy_j: f64,
+    /// Fiber cuts the runtime observed (distinct cut events).
+    pub link_cuts_seen: u64,
+    /// Sets with a member unaccounted for at end of run (must be 0).
+    pub unsettled_sets: u64,
 }
 
 /// The assembled serving runtime.
@@ -198,6 +251,26 @@ pub struct ServeRuntime {
     /// Profiling hooks: events handled / batches dispatched.
     ev_count: Counter,
     dispatch_count: Counter,
+    /// Link-disjoint route plan for proactive redundancy (None = the
+    /// legacy reactive-only path).
+    site_plan: Option<MultipathPlan>,
+    /// Planned route per site (first plan entry wins), for in-flight
+    /// loss attribution and reachability tracking.
+    site_routes: BTreeMap<NodeId, Vec<LinkId>>,
+    /// Links currently cut.
+    link_down: BTreeSet<LinkId>,
+    /// Deterministic arbiter of redundancy-set completions/losses.
+    ledger: WorkLedger,
+    next_set: u64,
+    /// Lost members' requests, parked for parity reconstruction or
+    /// requeue, keyed by (set, member).
+    stash: BTreeMap<(u64, u8), Vec<ComputeRequest>>,
+    /// Requests already given a terminal outcome through the redundancy
+    /// divert path; late sibling deliveries must skip them.
+    finalized: BTreeSet<RequestId>,
+    /// Digital XOR-reconstruction cost model.
+    recon: ReconstructModel,
+    resil_stats: ResilSummary,
 }
 
 impl ServeRuntime {
@@ -245,6 +318,15 @@ impl ServeRuntime {
             drained_ps: BTreeMap::new(),
             ev_count: Counter::noop(),
             dispatch_count: Counter::noop(),
+            site_plan: None,
+            site_routes: BTreeMap::new(),
+            link_down: BTreeSet::new(),
+            ledger: WorkLedger::new(),
+            next_set: 0,
+            stash: BTreeMap::new(),
+            finalized: BTreeSet::new(),
+            recon: ReconstructModel::default(),
+            resil_stats: ResilSummary::default(),
             config,
         };
         // Seed the first arrival of every tenant.
@@ -301,6 +383,56 @@ impl ServeRuntime {
                 },
             );
         }
+        self
+    }
+
+    /// Inject a full fault storm (`ofpc-faults` plan): fiber cuts and
+    /// splices become link-fault events, engine fails/repairs become
+    /// site faults, analog noise steps are out of the serving loop's
+    /// scope and are ignored. Same storm + same seed ⇒ byte-identical
+    /// report.
+    pub fn with_storm(mut self, plan: &FaultPlan) -> Self {
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::FiberCut { link } => {
+                    self.push_event(ev.at_ps, Event::LinkFault { link, up: false });
+                }
+                FaultKind::LinkRestore { link } => {
+                    self.push_event(ev.at_ps, Event::LinkFault { link, up: true });
+                }
+                FaultKind::EngineFail { node } => {
+                    self.push_event(ev.at_ps, Event::SiteFault { node, up: false });
+                }
+                FaultKind::EngineRepair { node } => {
+                    self.push_event(ev.at_ps, Event::SiteFault { node, up: true });
+                }
+                FaultKind::NoiseStep { .. } => {}
+            }
+        }
+        self
+    }
+
+    /// Install per-tenant redundancy policies over a link-disjoint
+    /// route plan. Protected tenants' batches expand into replica or
+    /// parity sets pinned to disjoint entry paths; batches of
+    /// `Unprotected` tenants (and all batches when no plan is
+    /// installed) keep the legacy reactive path. Requires one policy
+    /// per configured tenant.
+    pub fn with_redundancy(mut self, policies: &[RedundancyMode], plan: MultipathPlan) -> Self {
+        assert_eq!(
+            policies.len(),
+            self.config.tenants.len(),
+            "one redundancy policy per tenant"
+        );
+        for (i, &p) in policies.iter().enumerate() {
+            self.admission.set_policy(TenantId(i as u32), p);
+        }
+        for r in &plan.routes {
+            self.site_routes
+                .entry(r.node)
+                .or_insert_with(|| r.route.links.clone());
+        }
+        self.site_plan = Some(plan);
         self
     }
 
@@ -391,7 +523,8 @@ impl ServeRuntime {
             if tracing {
                 self.drained_ps.insert(req.id.0, now);
             }
-            self.batcher.push(req, now);
+            let rank = self.admission.policy_of(req.tenant).rank();
+            self.batcher.push_with_mode(req, rank, now);
         }
         self.batcher.flush_timeouts(now);
         // Idle capacity with no backlog and nothing else queued: waiting
@@ -405,7 +538,7 @@ impl ServeRuntime {
         }
         for batch in self.batcher.take_closed() {
             self.metrics.on_batch(batch.len() as u32);
-            self.scheduler.enqueue(batch);
+            self.enqueue_with_redundancy(batch);
         }
         let dispatches = self.scheduler.try_dispatch(now);
         for d in dispatches {
@@ -414,7 +547,7 @@ impl ServeRuntime {
                 self.metrics
                     .on_outcome(req.tenant, &Outcome::Shed { reason: *reason });
             }
-            if d.batch.is_empty() {
+            if d.batch.is_empty() && d.batch.resil.is_none() {
                 continue;
             }
             self.dispatch_count.inc();
@@ -441,7 +574,13 @@ impl ServeRuntime {
                 },
             );
             let n = d.batch.len() as u32;
-            let per_request_j = d.energy.total_j() / f64::from(n);
+            // A requestless parity member has n = 0; its energy was
+            // still burned and is accounted via the stage ledger below.
+            let per_request_j = if n == 0 {
+                0.0
+            } else {
+                d.energy.total_j() / f64::from(n)
+            };
             // Stage energy is burned at dispatch whether or not the batch
             // survives to delivery; per-request completion is recorded at
             // delivery time so an engine fault mid-service can abort it.
@@ -462,6 +601,8 @@ impl ServeRuntime {
                     dispatched_ps: now,
                     start_ps: d.start_ps,
                     requests: d.batch.requests.clone(),
+                    resil: d.batch.resil,
+                    route: self.site_routes.get(&d.node).cloned().unwrap_or_default(),
                 },
             );
             self.push_event(d.delivered_ps, Event::Deliver { key });
@@ -472,6 +613,7 @@ impl ServeRuntime {
                     .batches_dispatched
                     .is_multiple_of(self.config.verify_every)
                 && d.batch.class.primitive == Primitive::VectorDotProduct
+                && !d.batch.requests.is_empty()
             {
                 let operands = d.batch.requests[0].operands();
                 let weights = vec![0.5; operands.len()];
@@ -494,17 +636,178 @@ impl ServeRuntime {
         }
     }
 
+    /// Expand a closed batch into its tenant's redundancy set — or pass
+    /// it straight through for unprotected tenants / no installed plan.
+    ///
+    /// Set members pin to link-disjoint entry paths that are currently
+    /// usable (links up, site slots healthy). With only one usable path
+    /// the set degrades to serialized same-path replication (announced
+    /// via telemetry); with none, the batch runs declared-unprotected.
+    fn enqueue_with_redundancy(&mut self, batch: Batch) {
+        if batch.is_empty() {
+            return;
+        }
+        let mode = self.admission.policy_of(batch.requests[0].tenant);
+        let Some(plan) = self.site_plan.as_ref() else {
+            self.scheduler.enqueue(batch);
+            return;
+        };
+        if !mode.is_protected() {
+            self.scheduler.enqueue(batch);
+            return;
+        }
+        let pins: Vec<NodeId> = plan
+            .routes
+            .iter()
+            .filter(|r| {
+                r.disjoint
+                    && !r.route.links.iter().any(|l| self.link_down.contains(l))
+                    && self.scheduler.site_healthy(r.node)
+            })
+            .map(|r| r.node)
+            .collect();
+        if pins.is_empty() {
+            // Graceful degradation floor: no usable planned path at
+            // all. Run the batch unprotected rather than stranding it,
+            // and say so.
+            self.resil_stats.unprotected_downgrades += 1;
+            self.tel.instant(
+                track::RESIL,
+                self.next_set,
+                "resil",
+                "downgrade.unprotected",
+                self.now_ps,
+                vec![("size".to_string(), batch.len().to_string())],
+            );
+            self.scheduler.enqueue(batch);
+            return;
+        }
+        if pins.len() == 1 {
+            // One usable path: both members ride it serialized. Engine
+            // faults and transient cuts are still survivable; a severed
+            // shared span is not — warn, don't pretend.
+            self.resil_stats.serialized_fallback_sets += 1;
+            self.tel.instant(
+                track::RESIL,
+                self.next_set,
+                "resil",
+                "fallback.serialized",
+                self.now_ps,
+                vec![("pin".to_string(), pins[0].0.to_string())],
+            );
+        }
+        let set = self.next_set;
+        self.next_set += 1;
+        let deadline_ps = batch.deadline_ps();
+        // Rotate the pin assignment by set id so successive sets spread
+        // across every disjoint route instead of always loading the
+        // first `members` routes of the plan.
+        let spread = set as usize;
+        match mode {
+            RedundancyMode::Replica => {
+                self.ledger.register(set, SetKind::Replica);
+                self.resil_stats.replica_sets += 1;
+                for member in 0..2u8 {
+                    let mut b = batch.clone();
+                    b.resil = Some(ResilTag {
+                        set,
+                        member,
+                        pin: pins[(spread + member as usize) % pins.len()],
+                        phantom: 0,
+                        deadline_ps,
+                    });
+                    self.scheduler.enqueue(b);
+                }
+            }
+            RedundancyMode::XorParity { data_groups } => {
+                let sizes = split_groups(batch.len(), data_groups as usize);
+                let k = sizes.len() as u8;
+                self.ledger
+                    .register(set, SetKind::Parity { data_members: k });
+                self.resil_stats.parity_sets += 1;
+                let mut offset = 0usize;
+                for (m, &sz) in sizes.iter().enumerate() {
+                    let b = Batch {
+                        class: batch.class,
+                        requests: batch.requests[offset..offset + sz].to_vec(),
+                        closed_ps: batch.closed_ps,
+                        resil: Some(ResilTag {
+                            set,
+                            member: m as u8,
+                            pin: pins[(spread + m) % pins.len()],
+                            phantom: 0,
+                            deadline_ps,
+                        }),
+                    };
+                    offset += sz;
+                    self.scheduler.enqueue(b);
+                }
+                // The parity group: XOR of the data groups, phantom-
+                // sized like the widest one so its wavelength time and
+                // energy are priced honestly.
+                let phantom = sizes.iter().copied().max().unwrap_or(0) as u32;
+                self.scheduler.enqueue(Batch {
+                    class: batch.class,
+                    requests: Vec::new(),
+                    closed_ps: batch.closed_ps,
+                    resil: Some(ResilTag {
+                        set,
+                        member: k,
+                        pin: pins[(spread + k as usize) % pins.len()],
+                        phantom,
+                        deadline_ps,
+                    }),
+                });
+            }
+            RedundancyMode::Unprotected => unreachable!("filtered above"),
+        }
+    }
+
     /// Results of pending batch `key` reach the requesters: record the
     /// completions. Aborted batches were already removed from the table,
-    /// so their stale delivery events are no-ops.
+    /// so their stale delivery events are no-ops. Redundancy-set
+    /// members route through the work ledger, which arbitrates
+    /// first-home-wins, duplicate suppression, and reconstruction
+    /// deterministically.
     fn handle_deliver(&mut self, key: u64) {
         let Some(p) = self.in_service.remove(&key) else {
             return;
         };
+        let Some(tag) = p.resil else {
+            self.complete_batch_requests(&p);
+            return;
+        };
+        match self.ledger.on_member_done(tag.set, tag.member) {
+            DoneAction::Complete { cancel } => {
+                self.complete_batch_requests(&p);
+                for m in cancel {
+                    self.cancel_set_member(tag.set, m);
+                }
+                self.drop_set_stash(tag.set);
+            }
+            DoneAction::Duplicate => {
+                self.resil_stats.duplicate_deliveries_suppressed += 1;
+            }
+            DoneAction::Record => {
+                self.complete_batch_requests(&p);
+            }
+            DoneAction::RecordAndReconstruct { member } => {
+                self.complete_batch_requests(&p);
+                self.reconstruct_member(tag.set, member);
+            }
+        }
+    }
+
+    /// Record a completion outcome for every request of a delivered
+    /// batch (skipping any the divert path already finalized).
+    fn complete_batch_requests(&mut self, p: &PendingBatch) {
         for req in &p.requests {
+            if self.finalized.contains(&req.id) {
+                continue;
+            }
             self.attempts.remove(&req.id);
             if self.tel.is_enabled() {
-                self.trace_request(req, &p);
+                self.trace_request(req, p);
             }
             self.metrics.on_outcome(
                 req.tenant,
@@ -514,6 +817,202 @@ impl ServeRuntime {
                     energy_j: p.per_request_j,
                 },
             );
+        }
+    }
+
+    /// Cancel a still-pending redundancy-set member: free if it has not
+    /// launched, a write-off of already-spent energy if it is in
+    /// flight. Members already terminal are left to the ledger.
+    fn cancel_set_member(&mut self, set: u64, member: u8) {
+        if self.scheduler.cancel_member(set, member) {
+            self.resil_stats.duplicates_cancelled_prelaunch += 1;
+            return;
+        }
+        let key = self
+            .in_service
+            .iter()
+            .find(|(_, p)| p.resil.is_some_and(|t| t.set == set && t.member == member))
+            .map(|(&k, _)| k);
+        if let Some(k) = key {
+            self.in_service.remove(&k);
+            self.resil_stats.duplicates_cancelled_inflight += 1;
+        }
+    }
+
+    /// Drop every stashed request list of `set`.
+    fn drop_set_stash(&mut self, set: u64) {
+        let keys: Vec<(u64, u8)> = self
+            .stash
+            .range((set, 0)..=(set, u8::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            self.stash.remove(&k);
+        }
+    }
+
+    /// Digitally reconstruct a lost data group from its k surviving
+    /// siblings + parity: XOR is byte-wise, so cost scales with the
+    /// group's operand bytes times the groups read.
+    fn reconstruct_member(&mut self, set: u64, member: u8) {
+        let Some(reqs) = self.stash.remove(&(set, member)) else {
+            return;
+        };
+        let k = match self.ledger.kind(set) {
+            Some(SetKind::Parity { data_members }) => u64::from(data_members),
+            _ => 1,
+        };
+        let bytes = reqs.iter().map(|r| r.operand_len as usize).sum::<usize>() * k as usize;
+        let (recon_ps, recon_j) = self.recon.cost(bytes);
+        self.metrics.add_stage_energy("parity-reconstruct", recon_j);
+        self.resil_stats.reconstructions += 1;
+        self.resil_stats.reconstructed_requests += reqs.len() as u64;
+        self.resil_stats.reconstruct_energy_j += recon_j;
+        self.tel.instant(
+            track::RESIL,
+            set,
+            "resil",
+            "parity.reconstruct",
+            self.now_ps,
+            vec![
+                ("member".to_string(), member.to_string()),
+                ("requests".to_string(), reqs.len().to_string()),
+            ],
+        );
+        let delivered = self.now_ps + recon_ps;
+        let per_j = if reqs.is_empty() {
+            0.0
+        } else {
+            recon_j / reqs.len() as f64
+        };
+        for req in &reqs {
+            if self.finalized.contains(&req.id) {
+                continue;
+            }
+            self.attempts.remove(&req.id);
+            self.metrics.on_outcome(
+                req.tenant,
+                &Outcome::Completed {
+                    latency_ps: delivered - req.arrival_ps,
+                    batch_size: reqs.len().max(1) as u32,
+                    energy_j: per_j,
+                },
+            );
+        }
+    }
+
+    /// An in-flight batch was lost to a fault. Unprotected batches take
+    /// the legacy reactive path (retry backoff → fallback); set members
+    /// are stashed and arbitrated by the ledger — one loss per set is
+    /// absorbed outright, beyond that the lost work re-enters admission.
+    fn lose_member(&mut self, resil: Option<ResilTag>, requests: Vec<ComputeRequest>) {
+        let Some(tag) = resil else {
+            for req in requests {
+                self.requeue_or_fallback(req);
+            }
+            return;
+        };
+        self.stash.insert((tag.set, tag.member), requests);
+        match self.ledger.on_member_lost(tag.set, tag.member) {
+            LostAction::Absorbed => {
+                self.resil_stats.losses_absorbed += 1;
+                self.tel.instant(
+                    track::RESIL,
+                    tag.set,
+                    "resil",
+                    "loss.absorbed",
+                    self.now_ps,
+                    vec![("member".to_string(), tag.member.to_string())],
+                );
+            }
+            LostAction::Reconstruct { member } => {
+                self.resil_stats.losses_absorbed += 1;
+                self.reconstruct_member(tag.set, member);
+            }
+            LostAction::AlreadyResolved => {
+                self.stash.remove(&(tag.set, tag.member));
+            }
+            LostAction::Requeue { members } => {
+                self.resil_stats.sets_lost += 1;
+                let kind = self.ledger.kind(tag.set);
+                let mut work: Vec<ComputeRequest> = Vec::new();
+                let mut seen: BTreeSet<RequestId> = BTreeSet::new();
+                for m in members {
+                    if let Some(reqs) = self.stash.remove(&(tag.set, m)) {
+                        for r in reqs {
+                            if seen.insert(r.id) {
+                                work.push(r);
+                            }
+                        }
+                    }
+                }
+                // Replica copies carry identical requests: drop the
+                // sibling stashes so nothing requeues twice.
+                if matches!(kind, Some(SetKind::Replica)) {
+                    self.drop_set_stash(tag.set);
+                }
+                self.tel.instant(
+                    track::RESIL,
+                    tag.set,
+                    "resil",
+                    "set.lost",
+                    self.now_ps,
+                    vec![("requeued".to_string(), work.len().to_string())],
+                );
+                for req in work {
+                    self.resil_stats.requeued_requests += 1;
+                    self.requeue_or_fallback(req);
+                }
+            }
+        }
+    }
+
+    /// A fiber cut or splice fires. Cuts sever every planned route
+    /// riding the link: affected sites become unreachable for new
+    /// dispatches, and in-flight batches on the link — operands out or
+    /// results back — are lost as loss-of-light.
+    fn handle_link_fault(&mut self, link: LinkId, up: bool) {
+        self.tel.instant(
+            track::NET,
+            u64::from(link.0),
+            "fault",
+            if up { "link.splice" } else { "link.cut" },
+            self.now_ps,
+            vec![("link".to_string(), link.0.to_string())],
+        );
+        if up {
+            self.link_down.remove(&link);
+        } else if self.link_down.insert(link) {
+            self.resil_stats.link_cuts_seen += 1;
+        }
+        let reach: Vec<(NodeId, bool)> = self
+            .site_routes
+            .iter()
+            .map(|(&n, links)| (n, !links.iter().any(|l| self.link_down.contains(l))))
+            .collect();
+        for (n, ok) in reach {
+            self.scheduler.set_reachable(n, ok);
+        }
+        if up {
+            return;
+        }
+        let lost: Vec<u64> = self
+            .in_service
+            .iter()
+            .filter(|(_, p)| p.delivered_ps > self.now_ps && p.route.contains(&link))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in lost {
+            let p = self.in_service.remove(&key).expect("just listed");
+            self.tel.instant(
+                track::NET,
+                u64::from(link.0),
+                "fault",
+                "batch.lost",
+                self.now_ps,
+                vec![("size".to_string(), p.batch_size.to_string())],
+            );
+            self.lose_member(p.resil, p.requests);
         }
     }
 
@@ -605,9 +1104,7 @@ impl ServeRuntime {
                 self.now_ps,
                 vec![("size".to_string(), p.batch_size.to_string())],
             );
-            for req in p.requests {
-                self.requeue_or_fallback(req);
-            }
+            self.lose_member(p.resil, p.requests);
         }
     }
 
@@ -638,12 +1135,20 @@ impl ServeRuntime {
             *a += 1;
             *a
         };
-        if attempt > self.retry.max_retries || self.scheduler.healthy_slots() == 0 {
+        let at = self
+            .now_ps
+            .saturating_add(self.retry.backoff_ps(attempt - 1));
+        // The capped backoff must never park a request past its own
+        // deadline: it would wake only to expire. Hand it to the
+        // terminal path now instead of wasting the wait.
+        if attempt > self.retry.max_retries
+            || self.scheduler.healthy_slots() == 0
+            || at > req.deadline_ps
+        {
             self.attempts.remove(&req.id);
             self.finish_degraded(req);
             return;
         }
-        let at = self.now_ps + self.retry.backoff_ps(attempt - 1);
         let key = self.next_parked;
         self.next_parked += 1;
         self.parked.insert(key, req);
@@ -709,8 +1214,32 @@ impl ServeRuntime {
             }
         }
         for batch in self.scheduler.drain_ready() {
-            for req in batch.requests {
-                self.finish_degraded(req);
+            if let Some(tag) = batch.resil {
+                // Blackout divert: every member of the set is headed
+                // the same way, so degrade each request exactly once
+                // (replica copies share ids) and settle the ledger.
+                if let LostAction::Requeue { members } =
+                    self.ledger.on_member_lost(tag.set, tag.member)
+                {
+                    for m in members {
+                        if let Some(reqs) = self.stash.remove(&(tag.set, m)) {
+                            for req in reqs {
+                                if self.finalized.insert(req.id) {
+                                    self.finish_degraded(req);
+                                }
+                            }
+                        }
+                    }
+                }
+                for req in batch.requests {
+                    if self.finalized.insert(req.id) {
+                        self.finish_degraded(req);
+                    }
+                }
+            } else {
+                for req in batch.requests {
+                    self.finish_degraded(req);
+                }
             }
         }
         // QueueFull sheds recorded at offer time still surface.
@@ -721,8 +1250,49 @@ impl ServeRuntime {
         }
     }
 
+    /// Requests with no terminal outcome at end of run. Redundancy-set
+    /// copies are deduplicated by request id (two stranded replica
+    /// members are one unfinished request, not two), and requests the
+    /// divert path already finalized are excluded.
+    fn unfinished_requests(&self) -> u64 {
+        let plain: usize = self.admission.queued()
+            + self.batcher.open_len()
+            + self.parked.len()
+            + self
+                .scheduler
+                .ready_batches()
+                .iter()
+                .filter(|b| b.resil.is_none())
+                .map(Batch::len)
+                .sum::<usize>();
+        let mut grouped: BTreeSet<RequestId> = BTreeSet::new();
+        for b in self.scheduler.ready_batches() {
+            if b.resil.is_some() {
+                for r in &b.requests {
+                    grouped.insert(r.id);
+                }
+            }
+        }
+        for reqs in self.stash.values() {
+            for r in reqs {
+                grouped.insert(r.id);
+            }
+        }
+        let grouped = grouped
+            .iter()
+            .filter(|id| !self.finalized.contains(id))
+            .count();
+        (plain + grouped) as u64
+    }
+
     /// Run to completion and produce the final report.
-    pub fn run(mut self) -> ServeReport {
+    pub fn run(self) -> ServeReport {
+        self.run_with_resil().0
+    }
+
+    /// Run to completion, returning the report plus the redundancy
+    /// layer's summary (all-zero when no redundancy was configured).
+    pub fn run_with_resil(mut self) -> (ServeReport, ResilSummary) {
         let end_ps = self.config.horizon_ps + self.config.drain_grace_ps;
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
             self.ev_count.inc();
@@ -744,19 +1314,21 @@ impl ServeRuntime {
                     self.scheduler.release(node, slot, t);
                 }
                 Event::SiteFault { node, up } => self.handle_site_fault(node, up),
+                Event::LinkFault { link, up } => self.handle_link_fault(link, up),
                 Event::Deliver { key } => self.handle_deliver(key),
                 Event::Retry { key } => self.handle_retry(key),
             }
             self.run_pipeline();
         }
         debug_assert!(self.in_service.is_empty(), "all dispatches delivered");
-        let unfinished = (self.admission.queued()
-            + self.batcher.open_len()
-            + self.scheduler.backlog_requests()
-            + self.parked.len()) as u64;
+        let unfinished = self.unfinished_requests();
         let duration_s = self.config.horizon_ps as f64 / 1e12;
-        self.metrics
-            .report(duration_s, unfinished, self.config.batch.max_batch)
+        let mut summary = self.resil_stats.clone();
+        summary.unsettled_sets = self.ledger.unsettled_sets().len() as u64;
+        let report = self
+            .metrics
+            .report(duration_s, unfinished, self.config.batch.max_batch);
+        (report, summary)
     }
 }
 
@@ -965,6 +1537,8 @@ mod tests {
             closed_ps: 0,
             dispatched_ps: 0,
             start_ps: 0,
+            resil: None,
+            route: Vec::new(),
         };
         // Batch 0 finished computing before the fault: its results
         // already egressed and are light in the return fiber. Batch 1 is
@@ -994,6 +1568,286 @@ mod tests {
         rt.now_ps = 1_000_000;
         rt.handle_deliver(0);
         assert!(!rt.in_service.contains_key(&0));
+    }
+
+    // Hub-and-spoke serving plant: front-end 0, `n` sites each on its
+    // own 10 km span — every route link-disjoint by construction.
+    fn star_plant(n: usize) -> (Vec<SiteSpec>, ofpc_resil::MultipathPlan) {
+        let mut topo = Topology::new();
+        let fe = topo.add_node("fe");
+        let mut nodes = Vec::new();
+        let mut sites = Vec::new();
+        for i in 0..n {
+            let s = topo.add_node(format!("s{i}"));
+            topo.add_link(fe, s, 10.0);
+            nodes.push(s);
+            sites.push(SiteSpec {
+                node: s,
+                slots: 2,
+                access_ps: 100_000,
+            });
+        }
+        let plan = ofpc_resil::MultipathPlan::plan(&topo, fe, &nodes);
+        (sites, plan)
+    }
+
+    fn storm_cut(link: ofpc_net::LinkId, at_ps: u64, restore_ps: u64) -> FaultPlan {
+        FaultPlan {
+            events: vec![
+                ofpc_faults::FaultEvent {
+                    at_ps,
+                    kind: FaultKind::FiberCut { link },
+                },
+                ofpc_faults::FaultEvent {
+                    at_ps: restore_ps,
+                    kind: FaultKind::LinkRestore { link },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn replica_tenants_survive_a_fiber_cut_with_zero_failed_requests() {
+        let (sites, plan) = star_plant(2);
+        let cut = plan.routes[0].route.links[0];
+        let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+        let (report, resil) = ServeRuntime::new(small_config(500_000.0), model, sites)
+            .with_redundancy(&[RedundancyMode::Replica, RedundancyMode::Replica], plan)
+            .with_storm(&storm_cut(cut, 800_000_000, 1_300_000_000))
+            .run_with_resil();
+        assert!(report.completed > 0);
+        assert_eq!(report.shed, 0, "protected tenants never shed");
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.arrivals, report.completed, "zero lost work");
+        assert!(resil.replica_sets > 0);
+        assert_eq!(resil.link_cuts_seen, 1);
+        assert_eq!(resil.unsettled_sets, 0, "every member accounted for");
+        // First-home-wins visibly arbitrates: duplicates are cancelled
+        // or suppressed, never double-counted.
+        assert!(
+            resil.duplicates_cancelled_prelaunch
+                + resil.duplicates_cancelled_inflight
+                + resil.duplicate_deliveries_suppressed
+                > 0
+        );
+    }
+
+    #[test]
+    fn parity_tenants_survive_a_fiber_cut_with_zero_failed_requests() {
+        let (sites, plan) = star_plant(4);
+        let cut = plan.routes[1].route.links[0];
+        let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+        let mode = RedundancyMode::XorParity { data_groups: 3 };
+        let (report, resil) = ServeRuntime::new(small_config(500_000.0), model, sites)
+            .with_redundancy(&[mode, mode], plan)
+            .with_storm(&storm_cut(cut, 800_000_000, 1_300_000_000))
+            .run_with_resil();
+        assert_eq!(report.shed, 0, "coded tenants never shed");
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.arrivals, report.completed + report.unfinished);
+        assert_eq!(report.unfinished, 0);
+        assert!(resil.parity_sets > 0);
+        assert_eq!(resil.unsettled_sets, 0);
+    }
+
+    #[test]
+    fn parity_loss_then_final_delivery_reconstructs_digitally() {
+        let mut rt = runtime(small_config(500_000.0));
+        rt.now_ps = 1_000_000;
+        let req = |id: u64| ComputeRequest {
+            id: RequestId(id),
+            tenant: TenantId(0),
+            primitive: Primitive::VectorDotProduct,
+            operand_len: 64,
+            arrival_ps: 0,
+            deadline_ps: u64::MAX,
+        };
+        let tag = |member: u8, phantom: u32| ResilTag {
+            set: 0,
+            member,
+            pin: NodeId(1),
+            phantom,
+            deadline_ps: u64::MAX,
+        };
+        let pending = |resil: Option<ResilTag>, ids: &[u64]| PendingBatch {
+            node: NodeId(1),
+            done_ps: 900_000,
+            delivered_ps: 1_000_000,
+            batch_size: ids.len() as u32,
+            per_request_j: 0.0,
+            requests: ids.iter().map(|&i| req(i)).collect(),
+            closed_ps: 0,
+            dispatched_ps: 0,
+            start_ps: 0,
+            resil,
+            route: Vec::new(),
+        };
+        rt.ledger.register(0, SetKind::Parity { data_members: 2 });
+        rt.in_service.insert(0, pending(Some(tag(0, 0)), &[1, 2]));
+        rt.in_service.insert(2, pending(Some(tag(2, 2)), &[]));
+        // Data group 0 delivers, group 1 dies mid-flight (absorbed),
+        // and the parity group's delivery triggers reconstruction.
+        rt.handle_deliver(0);
+        rt.lose_member(Some(tag(1, 0)), vec![req(3), req(4)]);
+        assert_eq!(rt.resil_stats.losses_absorbed, 1);
+        assert_eq!(rt.stash.len(), 1);
+        rt.handle_deliver(2);
+        assert_eq!(rt.resil_stats.reconstructions, 1);
+        assert_eq!(rt.resil_stats.reconstructed_requests, 2);
+        assert!(rt.resil_stats.reconstruct_energy_j > 0.0);
+        assert!(rt.stash.is_empty(), "reconstructed stash is consumed");
+        assert!(rt.ledger.unsettled_sets().is_empty());
+    }
+
+    #[test]
+    fn replica_first_home_cancels_the_in_flight_duplicate() {
+        let mut rt = runtime(small_config(500_000.0));
+        rt.now_ps = 1_000_000;
+        let req = |id: u64| ComputeRequest {
+            id: RequestId(id),
+            tenant: TenantId(0),
+            primitive: Primitive::VectorDotProduct,
+            operand_len: 64,
+            arrival_ps: 0,
+            deadline_ps: u64::MAX,
+        };
+        let member = |m: u8| PendingBatch {
+            node: NodeId(1),
+            done_ps: 900_000 + u64::from(m),
+            delivered_ps: 1_000_000 + u64::from(m),
+            batch_size: 1,
+            per_request_j: 0.0,
+            requests: vec![req(1)],
+            closed_ps: 0,
+            dispatched_ps: 0,
+            start_ps: 0,
+            resil: Some(ResilTag {
+                set: 0,
+                member: m,
+                pin: NodeId(1),
+                phantom: 0,
+                deadline_ps: u64::MAX,
+            }),
+            route: Vec::new(),
+        };
+        rt.ledger.register(0, SetKind::Replica);
+        rt.in_service.insert(0, member(0));
+        rt.in_service.insert(1, member(1));
+        rt.handle_deliver(0);
+        assert_eq!(rt.resil_stats.duplicates_cancelled_inflight, 1);
+        assert!(
+            rt.in_service.is_empty(),
+            "losing copy is cancelled mid-flight"
+        );
+        // The cancelled copy's stale delivery event is a no-op.
+        rt.handle_deliver(1);
+        assert_eq!(rt.resil_stats.duplicate_deliveries_suppressed, 0);
+        assert!(rt.ledger.unsettled_sets().is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_never_parks_a_request_past_its_deadline() {
+        let mut rt = runtime(small_config(500_000.0));
+        rt.now_ps = 1_000_000;
+        let req = |id: u64, deadline_ps: u64| ComputeRequest {
+            id: RequestId(id),
+            tenant: TenantId(0),
+            primitive: Primitive::VectorDotProduct,
+            operand_len: 64,
+            arrival_ps: 0,
+            deadline_ps,
+        };
+        // First backoff is 10 µs; this deadline is 5 µs out, so parking
+        // would only wake the request to expire. It must go terminal
+        // now (no fallback configured ⇒ explicit shed).
+        rt.requeue_or_fallback(req(1, rt.now_ps + 5_000_000));
+        assert!(rt.parked.is_empty(), "hopeless retry must not park");
+        // A deadline past the backoff parks as before.
+        rt.requeue_or_fallback(req(2, rt.now_ps + 50_000_000));
+        assert_eq!(rt.parked.len(), 1);
+        // Deadline-free requests are unaffected by the guard.
+        rt.requeue_or_fallback(req(3, u64::MAX));
+        assert_eq!(rt.parked.len(), 2);
+    }
+
+    #[test]
+    fn tree_topology_degrades_to_serialized_same_path_replication() {
+        // Line 0 — 1 — 2: site 2 sits behind site 1's span, so only one
+        // disjoint route exists. Replica sets must still form —
+        // serialized onto the one path — and be announced as such.
+        let mut topo = Topology::line(3, 10.0);
+        let _ = &mut topo;
+        let plan = ofpc_resil::MultipathPlan::plan(&topo, NodeId(0), &[NodeId(1), NodeId(2)]);
+        assert_eq!(plan.diversity(), 1);
+        let sites = vec![
+            SiteSpec {
+                node: NodeId(1),
+                slots: 2,
+                access_ps: 100_000,
+            },
+            SiteSpec {
+                node: NodeId(2),
+                slots: 2,
+                access_ps: 200_000,
+            },
+        ];
+        let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+        let (report, resil) = ServeRuntime::new(small_config(200_000.0), model, sites)
+            .with_redundancy(&[RedundancyMode::Replica, RedundancyMode::Replica], plan)
+            .run_with_resil();
+        assert!(
+            resil.serialized_fallback_sets > 0,
+            "degradation is declared"
+        );
+        assert_eq!(resil.serialized_fallback_sets, resil.replica_sets);
+        assert_eq!(report.arrivals, report.completed);
+        assert_eq!(resil.unsettled_sets, 0);
+    }
+
+    #[test]
+    fn no_usable_path_downgrades_to_declared_unprotected() {
+        let (sites, plan) = star_plant(1);
+        let only_link = plan.routes[0].route.links[0];
+        let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+        // The sole span is dark from before the first arrival until
+        // 300 µs: every protected batch formed in that window has no
+        // usable path and must run declared-unprotected instead of
+        // stranding.
+        let (report, resil) = ServeRuntime::new(small_config(500_000.0), model, sites)
+            .with_redundancy(&[RedundancyMode::Replica, RedundancyMode::Replica], plan)
+            .with_storm(&storm_cut(only_link, 0, 300_000_000))
+            .run_with_resil();
+        assert!(resil.unprotected_downgrades > 0);
+        assert!(resil.replica_sets > 0, "protection resumes after splice");
+        assert_eq!(
+            report.arrivals,
+            report.completed + report.shed + report.unfinished
+        );
+    }
+
+    #[test]
+    fn same_seed_same_storm_same_resil_summary() {
+        let build = || {
+            let (sites, plan) = star_plant(3);
+            let cut = plan.routes[2].route.links[0];
+            let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 4);
+            let (report, resil) = ServeRuntime::new(small_config(500_000.0), model, sites)
+                .with_redundancy(
+                    &[
+                        RedundancyMode::Replica,
+                        RedundancyMode::XorParity { data_groups: 3 },
+                    ],
+                    plan,
+                )
+                .with_storm(&storm_cut(cut, 600_000_000, 1_100_000_000))
+                .run_with_resil();
+            (
+                serde_json::to_string_pretty(&report).unwrap(),
+                serde_json::to_string_pretty(&resil).unwrap(),
+            )
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

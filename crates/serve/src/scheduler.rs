@@ -23,7 +23,7 @@ use ofpc_net::NodeId;
 use ofpc_photonics::energy::{constants, EnergyLedger};
 use ofpc_transponder::compute::ComputeTransponderConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Latency/energy model for one wavelength pass over a compute slot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -190,6 +190,9 @@ pub struct Scheduler {
     slots: BTreeMap<(NodeId, usize), SlotState>,
     /// Closed batches awaiting dispatch.
     ready: Vec<Batch>,
+    /// Sites whose fiber route from the front-end is currently severed:
+    /// slots there may be healthy, but operands cannot reach them.
+    unreachable: BTreeSet<NodeId>,
     /// Completed-batch counter (for occupancy metrics).
     pub batches_dispatched: u64,
     pub requests_dispatched: u64,
@@ -220,6 +223,7 @@ impl Scheduler {
             inventory,
             slots,
             ready: Vec::new(),
+            unreachable: BTreeSet::new(),
             batches_dispatched: 0,
             requests_dispatched: 0,
         }
@@ -241,6 +245,45 @@ impl Scheduler {
     /// Slots that have not hard-failed (photonic serving capacity).
     pub fn healthy_slots(&self) -> usize {
         self.slots.values().filter(|s| s.healthy).count()
+    }
+
+    /// True when at least one slot at `node` is healthy.
+    pub fn site_healthy(&self, node: NodeId) -> bool {
+        self.slots.iter().any(|(&(n, _), s)| n == node && s.healthy)
+    }
+
+    /// Mark `node` (un)reachable over the fiber plant. Unreachable
+    /// sites keep their slot state but never dispatch: operands cannot
+    /// get there while the route is severed.
+    pub fn set_reachable(&mut self, node: NodeId, reachable: bool) {
+        if reachable {
+            self.unreachable.remove(&node);
+        } else {
+            self.unreachable.insert(node);
+        }
+    }
+
+    /// The queued batches awaiting dispatch (for group-aware
+    /// end-of-run accounting).
+    pub fn ready_batches(&self) -> &[Batch] {
+        &self.ready
+    }
+
+    /// Remove a still-queued redundancy-set member (its sibling already
+    /// delivered). Returns true when the member was found pre-launch —
+    /// a cancellation that costs no slot time and no energy.
+    pub fn cancel_member(&mut self, set: u64, member: u8) -> bool {
+        let idx = self
+            .ready
+            .iter()
+            .position(|b| b.resil.is_some_and(|t| t.set == set && t.member == member));
+        match idx {
+            Some(i) => {
+                self.ready.swap_remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Hard-fail every slot at `node`: nothing dispatches there until
@@ -289,7 +332,10 @@ impl Scheduler {
     }
 
     pub fn enqueue(&mut self, batch: Batch) {
-        if !batch.is_empty() {
+        // A requestless batch is only meaningful as a redundancy-set
+        // member (the parity group): it must queue, dispatch, and
+        // deliver so the set settles. Plain empty batches are dropped.
+        if !batch.is_empty() || batch.resil.is_some() {
             self.ready.push(batch);
         }
     }
@@ -311,101 +357,129 @@ impl Scheduler {
 
     /// Dispatch as many ready batches as idle slots allow, EDF first.
     /// Returns the dispatches made (empty when blocked).
+    ///
+    /// A batch pinned to a site by its redundancy tag only considers
+    /// that site's slots; when the pin is busy, the scheduler *skips*
+    /// to the next-earliest-deadline batch rather than head-of-line
+    /// blocking the whole queue behind one occupied site. For unpinned
+    /// batches the slot filter is batch-independent, so the skip loop
+    /// dispatches in exactly the legacy EDF order.
     pub fn try_dispatch(&mut self, now_ps: u64) -> Vec<Dispatch> {
         let mut out = Vec::new();
-        while !self.ready.is_empty() {
-            // EDF: earliest min-member deadline; ties broken by close
-            // time then insertion order for determinism.
-            let best_idx = self
-                .ready
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, b)| (b.deadline_ps(), b.closed_ps, *i))
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            let class = self.ready[best_idx].class;
-            // Best usable slot: prefer one already loaded with this class
-            // (skips reconfiguration), then nearest, then lowest id. A
-            // slot is usable when it frees by the time work dispatched
-            // now would arrive (the fiber pipelines in-flight batches).
-            let slot_key = self
-                .slots
-                .iter()
-                .filter(|(&(node, _), s)| {
-                    s.healthy && s.busy_until_ps <= now_ps + self.access_ps(node)
-                })
-                .min_by_key(|(&(node, slot), s)| {
-                    (s.loaded != Some(class), self.access_ps(node), node, slot)
-                })
-                .map(|(&k, _)| k);
-            let Some((node, slot)) = slot_key else {
-                break; // no idle capacity; keep batches queued
-            };
-            let mut batch = self.ready.swap_remove(best_idx);
-            let access = self.access_ps(node);
-            let loaded = self.slots[&(node, slot)].loaded;
+        'outer: loop {
+            if self.ready.is_empty() {
+                break;
+            }
+            // EDF candidate order: earliest min-member deadline; ties
+            // broken by close time then insertion order for determinism.
+            let mut order: Vec<usize> = (0..self.ready.len()).collect();
+            order.sort_by_key(|&i| (self.ready[i].deadline_ps(), self.ready[i].closed_ps, i));
+            for &best_idx in &order {
+                let class = self.ready[best_idx].class;
+                let pin = self.ready[best_idx].resil.map(|t| t.pin);
+                // Best usable slot: prefer one already loaded with this
+                // class (skips reconfiguration), then nearest, then
+                // lowest id. A slot is usable when it frees by the time
+                // work dispatched now would arrive (the fiber pipelines
+                // in-flight batches), its site is reachable, and — for a
+                // redundancy-set member — it sits at the planned site.
+                let slot_key = self
+                    .slots
+                    .iter()
+                    .filter(|(&(node, _), s)| {
+                        s.healthy
+                            && !self.unreachable.contains(&node)
+                            && (pin.is_none() || pin == Some(node))
+                            && s.busy_until_ps <= now_ps + self.access_ps(node)
+                    })
+                    .min_by_key(|(&(node, slot), s)| {
+                        (s.loaded != Some(class), self.access_ps(node), node, slot)
+                    })
+                    .map(|(&k, _)| k);
+                let Some((node, slot)) = slot_key else {
+                    continue; // this candidate has nowhere to go yet
+                };
+                let mut batch = self.ready.swap_remove(best_idx);
+                let access = self.access_ps(node);
+                let loaded = self.slots[&(node, slot)].loaded;
+                // A parity member streams `phantom` coded operand
+                // vectors besides its real requests; price the pass by
+                // the full wavelength occupancy, not just live members.
+                let phantom = batch.resil.map_or(0, |t| t.phantom as usize);
 
-            // Project completion, shed members that cannot make it, and
-            // re-price with the survivors.
-            let (est_service, _) = self.model.batch_service(class, batch.len(), loaded);
-            let est_delivered = now_ps + access + est_service + access;
-            let mut shed = Vec::new();
-            batch.requests.retain_mut(|r| {
-                if r.deadline_ps < est_delivered {
-                    shed.push((r.clone(), ShedReason::DeadlineExpiredServing));
-                    false
-                } else {
-                    true
+                // Project completion, shed members that cannot make it,
+                // and re-price with the survivors. Redundancy-set
+                // members are exempt from pre-shedding: their loss
+                // accounting belongs to the work ledger, which must see
+                // every member launch or be cancelled — never silently
+                // shed here.
+                let (est_service, _) =
+                    self.model
+                        .batch_service(class, batch.len() + phantom, loaded);
+                let est_delivered = now_ps + access + est_service + access;
+                let mut shed = Vec::new();
+                if batch.resil.is_none() {
+                    batch.requests.retain_mut(|r| {
+                        if r.deadline_ps < est_delivered {
+                            shed.push((r.clone(), ShedReason::DeadlineExpiredServing));
+                            false
+                        } else {
+                            true
+                        }
+                    });
                 }
-            });
-            if batch.is_empty() {
+                let eff_len = batch.len() + phantom;
+                if eff_len == 0 {
+                    out.push(Dispatch {
+                        batch,
+                        node,
+                        slot,
+                        start_ps: now_ps,
+                        done_ps: now_ps,
+                        free_ps: now_ps,
+                        delivered_ps: now_ps,
+                        service_ps: 0,
+                        energy: EnergyLedger::new(),
+                        shed,
+                    });
+                    continue 'outer;
+                }
+                let (service_ps, energy) = self.model.batch_service(class, eff_len, loaded);
+                let start_ps = now_ps + access;
+                let done_ps = start_ps + service_ps;
+                let delivered_ps = done_ps + access;
+                let free_ps = done_ps.saturating_sub(access).max(now_ps);
+
+                let state = self.slots.get_mut(&(node, slot)).expect("slot exists");
+                state.busy_until_ps = done_ps;
+                state.loaded = Some(class);
+                self.inventory.heartbeat(
+                    node,
+                    slot,
+                    SlotStatus::Active {
+                        primitive: class.primitive,
+                        op_id: (self.batches_dispatched % u64::from(u16::MAX)) as u16,
+                        version: self.batches_dispatched,
+                    },
+                    now_ps,
+                );
+                self.batches_dispatched += 1;
+                self.requests_dispatched += batch.len() as u64;
                 out.push(Dispatch {
                     batch,
                     node,
                     slot,
-                    start_ps: now_ps,
-                    done_ps: now_ps,
-                    free_ps: now_ps,
-                    delivered_ps: now_ps,
-                    service_ps: 0,
-                    energy: EnergyLedger::new(),
+                    start_ps,
+                    done_ps,
+                    free_ps,
+                    delivered_ps,
+                    service_ps,
+                    energy,
                     shed,
                 });
-                continue;
+                continue 'outer;
             }
-            let (service_ps, energy) = self.model.batch_service(class, batch.len(), loaded);
-            let start_ps = now_ps + access;
-            let done_ps = start_ps + service_ps;
-            let delivered_ps = done_ps + access;
-            let free_ps = done_ps.saturating_sub(access).max(now_ps);
-
-            let state = self.slots.get_mut(&(node, slot)).expect("slot exists");
-            state.busy_until_ps = done_ps;
-            state.loaded = Some(class);
-            self.inventory.heartbeat(
-                node,
-                slot,
-                SlotStatus::Active {
-                    primitive: class.primitive,
-                    op_id: (self.batches_dispatched % u64::from(u16::MAX)) as u16,
-                    version: self.batches_dispatched,
-                },
-                now_ps,
-            );
-            self.batches_dispatched += 1;
-            self.requests_dispatched += batch.len() as u64;
-            out.push(Dispatch {
-                batch,
-                node,
-                slot,
-                start_ps,
-                done_ps,
-                free_ps,
-                delivered_ps,
-                service_ps,
-                energy,
-                shed,
-            });
+            break; // no candidate could dispatch this round
         }
         out
     }
@@ -452,6 +526,7 @@ mod tests {
             class: requests[0].batch_class(),
             requests,
             closed_ps: closed,
+            resil: None,
         }
     }
 
@@ -575,6 +650,126 @@ mod tests {
         let d = s.try_dispatch(0);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].batch.len(), 1);
+    }
+
+    fn two_sites() -> Vec<SiteSpec> {
+        vec![
+            SiteSpec {
+                node: NodeId(1),
+                slots: 1,
+                access_ps: 1_000,
+            },
+            SiteSpec {
+                node: NodeId(2),
+                slots: 1,
+                access_ps: 2_000,
+            },
+        ]
+    }
+
+    fn pinned(mut b: Batch, set: u64, member: u8, pin: NodeId, phantom: u32) -> Batch {
+        let deadline_ps = b.deadline_ps();
+        b.resil = Some(ofpc_resil::ResilTag {
+            set,
+            member,
+            pin,
+            phantom,
+            deadline_ps,
+        });
+        b
+    }
+
+    #[test]
+    fn pinned_member_waits_for_its_site_instead_of_straying() {
+        let mut s = Scheduler::new(model(), two_sites());
+        // Occupy the pin site with an unpinned batch.
+        s.enqueue(pinned(batch(&[1], 10_000_000, 0), 7, 0, NodeId(1), 0));
+        s.enqueue(pinned(batch(&[2], 10_000_000, 0), 7, 1, NodeId(2), 0));
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 2);
+        let to1 = d.iter().find(|x| x.node == NodeId(1)).expect("member at 1");
+        let to2 = d.iter().find(|x| x.node == NodeId(2)).expect("member at 2");
+        assert_eq!(to1.batch.requests[0].id, RequestId(1));
+        assert_eq!(to2.batch.requests[0].id, RequestId(2));
+        // Pin site busy: the member queues rather than straying to the
+        // idle sibling site (disjointness is the whole point).
+        s.enqueue(pinned(batch(&[3], 10_000_000, 0), 8, 0, NodeId(1), 0));
+        assert!(s.try_dispatch(1).is_empty());
+        assert_eq!(s.backlog_requests(), 1);
+    }
+
+    #[test]
+    fn busy_pin_does_not_head_of_line_block_later_batches() {
+        let mut s = Scheduler::new(model(), two_sites());
+        s.enqueue(pinned(batch(&[1], 1_000_000, 0), 1, 0, NodeId(1), 0));
+        assert_eq!(s.try_dispatch(0).len(), 1);
+        // Earliest-deadline batch is pinned to the busy site; the later
+        // unpinned batch must still flow to the idle one.
+        s.enqueue(pinned(batch(&[2], 2_000_000, 0), 2, 0, NodeId(1), 0));
+        s.enqueue(batch(&[3], 50_000_000, 1));
+        let d = s.try_dispatch(1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].batch.requests[0].id, RequestId(3));
+        assert_eq!(d[0].node, NodeId(2));
+        assert_eq!(s.backlog_requests(), 1, "pinned member still queued");
+    }
+
+    #[test]
+    fn unreachable_site_is_skipped_until_route_restored() {
+        let mut s = Scheduler::new(model(), two_sites());
+        s.set_reachable(NodeId(1), false);
+        s.enqueue(batch(&[1], u64::MAX, 0));
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].node, NodeId(2), "severed site must not serve");
+        assert!(s.site_healthy(NodeId(1)), "slots themselves are fine");
+        s.set_reachable(NodeId(1), true);
+        s.enqueue(batch(&[2], u64::MAX, 1));
+        let d2 = s.try_dispatch(1);
+        assert_eq!(d2[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn cancel_member_removes_only_the_tagged_batch() {
+        let mut s = Scheduler::new(model(), one_site());
+        s.enqueue(batch(&[1], u64::MAX, 0));
+        s.enqueue(pinned(batch(&[2], u64::MAX, 0), 5, 1, NodeId(1), 0));
+        assert!(!s.cancel_member(5, 0), "member 0 was never queued");
+        assert!(s.cancel_member(5, 1));
+        assert!(!s.cancel_member(5, 1), "second cancel is a no-op");
+        assert_eq!(s.backlog_requests(), 1);
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].batch.requests[0].id, RequestId(1));
+    }
+
+    #[test]
+    fn phantom_members_price_the_full_coded_pass() {
+        let mut s = Scheduler::new(model(), one_site());
+        s.enqueue(pinned(batch(&[1], u64::MAX, 0), 1, 0, NodeId(1), 3));
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1);
+        let m = model();
+        let class = d[0].batch.class;
+        let (t4, e4) = m.batch_service(class, 4, None);
+        assert_eq!(d[0].service_ps, t4, "1 live + 3 phantom = 4-wide pass");
+        assert_eq!(d[0].energy.total_j(), e4.total_j());
+        // Dispatch counters track real requests only.
+        assert_eq!(s.requests_dispatched, 1);
+    }
+
+    #[test]
+    fn resil_members_bypass_pre_shedding() {
+        let mut s = Scheduler::new(model(), one_site());
+        // Deadline tighter than the access delay: an unprotected batch
+        // would be shed pre-service, but a set member must launch so the
+        // ledger sees a deterministic outcome for it.
+        s.enqueue(pinned(batch(&[1], 500, 0), 9, 0, NodeId(1), 0));
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].shed.is_empty());
+        assert_eq!(d[0].batch.len(), 1);
+        assert!(d[0].service_ps > 0);
     }
 
     #[test]

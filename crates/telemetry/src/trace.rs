@@ -35,6 +35,10 @@ pub mod track {
     /// bindings and sweep-point evaluations (`tid` = stage or point
     /// index).
     pub const DSE: u32 = 7;
+    /// Resilience decisions: redundancy-set lifecycle, duplicate
+    /// cancellation, parity reconstruction, and protection-fallback
+    /// warnings (`tid` = redundancy set id).
+    pub const RESIL: u32 = 8;
 }
 
 /// Event phase: duration begin/end or instant.

@@ -8,12 +8,13 @@ use ofpc_controller::demand::{Demand, TaskDag};
 use ofpc_controller::protection::RecoveryParams;
 use ofpc_core::{OnFiberNetwork, Solver};
 use ofpc_engine::Primitive;
-use ofpc_faults::{inject, FaultPlan, Orchestrator};
+use ofpc_faults::{generate_storm, inject, FaultPlan, Orchestrator, StormSpec};
 use ofpc_net::packet::Packet;
 use ofpc_net::pch::PchHeader;
 use ofpc_net::sim::{Network, OpSpec};
 use ofpc_net::stats::DropReason;
 use ofpc_net::{LinkId, NodeId, Topology};
+use ofpc_photonics::SimRng;
 use ofpc_serve::{
     ArrivalSpec, BatchPolicy, EngineFaultEvent, ServeConfig, ServeReport, ServeRuntime, TenantSpec,
 };
@@ -225,4 +226,76 @@ fn fault_scenario_replays_byte_identical() {
             .collect::<Vec<_>>()
     };
     assert_eq!(net_run(), net_run());
+}
+
+#[test]
+fn fifty_event_storm_conserves_packets_and_slot_inventory() {
+    // A dense correlated storm on fig1: 10 bursts of 2 cuts (each cut
+    // paired with its splice = 40 events) over a 5-rung drift ramp on
+    // both compute sites (10 NoiseStep events) — exactly 50 fault
+    // events sweeping a 10 ms packet train.
+    let mut sys = fig1_system(26);
+    sys.allocate_and_apply(SOLVER);
+
+    let links: Vec<LinkId> = (0..sys.net.topo.link_count() as u32).map(LinkId).collect();
+    let sites = vec![NodeId(1), NodeId(2)];
+    let spec = StormSpec {
+        bursts: 10,
+        cuts_per_burst: 2,
+        burst_jitter_ps: 20_000_000,
+        cut_down_ps: 300_000_000,
+        engines_per_burst: 0,
+        engine_down_ps: 0,
+        drift_sigmas: vec![0.001, 0.002, 0.004, 0.008, 0.016],
+    };
+    let horizon = 10_000_000_000u64;
+    let mut rng = SimRng::seed_from_u64(26).derive("storm-50");
+    let storm = generate_storm(&links, &sites, horizon, &spec, &mut rng);
+    assert_eq!(
+        storm.events.len(),
+        50,
+        "10 bursts x 2 (cut + splice) pairs + 2 sites x 5 drift rungs"
+    );
+    inject(&storm, &mut sys.net);
+
+    for i in 0..100u32 {
+        sys.net
+            .inject(i as u64 * 100_000_000, NodeId(0), compute_packet(i + 1));
+    }
+    sys.net.run_to_idle();
+
+    // Packet conservation: every injected packet is delivered, dropped
+    // with a reason, or still in flight — across all 50 fault events.
+    let stats = &sys.net.stats;
+    assert!(
+        stats.conservation_holds(sys.net.in_flight_count()),
+        "injected must equal delivered + dropped + in-flight"
+    );
+    assert_eq!(stats.injected, 100);
+    assert!(
+        stats.drop_count(DropReason::LinkDown) > 0,
+        "the storm bites"
+    );
+    assert!(
+        stats.delivered_count() > 0,
+        "splice windows must let traffic through"
+    );
+
+    // Slot-inventory invariant: the post-storm reallocation may not
+    // install more operations on a node than it has upgraded slots.
+    let orch = Orchestrator::new(RecoveryParams::default(), SOLVER);
+    let out = orch.recover_from_cut(&mut sys, horizon);
+    assert!(out.fully_applied);
+    assert_eq!(out.unsatisfied, 0);
+    let plan = sys.last_plan.clone().expect("recovery installs a plan");
+    let mut used = vec![0usize; sys.net.topo.node_count()];
+    for ins in &plan.installs {
+        used[ins.node.0 as usize] += 1;
+    }
+    for (node, (&u, &have)) in used.iter().zip(sys.slots().iter()).enumerate() {
+        assert!(
+            u <= have,
+            "node {node}: {u} installs exceed {have} upgraded slots"
+        );
+    }
 }

@@ -1,4 +1,4 @@
-//! Golden-replay regression suite: the mini E12/E13/E14 scenarios must
+//! Golden-replay regression suite: the mini experiment scenarios must
 //! regenerate byte-identical to the fixtures pinned under
 //! `results/golden/`. Any behavioral drift in the serving, fault, or
 //! telemetry stacks fails here with a readable first-divergence diff;
@@ -42,6 +42,23 @@ fn e14_telemetry_snapshot_matches_golden() {
 #[test]
 fn e17_design_space_frontier_matches_golden() {
     check("e17_mini");
+}
+
+#[test]
+fn e18_resilience_matches_golden() {
+    check("e18_mini");
+}
+
+#[test]
+fn e18_replay_is_byte_identical_across_worker_counts() {
+    // The three protection-mode runs fan out over the pool; the
+    // comparison document must not depend on how many workers carried
+    // them.
+    let narrow = ofpc_bench::resil::e18_mini(&WorkerPool::new(1));
+    let two = ofpc_bench::resil::e18_mini(&WorkerPool::new(2));
+    let wide = ofpc_bench::resil::e18_mini(&WorkerPool::new(8));
+    assert_eq!(narrow, two, "1-worker vs 2-worker E18 bytes diverged");
+    assert_eq!(narrow, wide, "1-worker vs 8-worker E18 bytes diverged");
 }
 
 #[test]

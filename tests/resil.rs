@@ -1,0 +1,146 @@
+//! Resilience integration gates: the E18 storm comparison must separate
+//! protected from unprotected serving — zero lost work for the
+//! redundancy modes under a storm that demonstrably hurts the reactive
+//! baseline — at an energy price inside the acceptance gates, and the
+//! degradation ladder (disjoint multipath → serialized same-path →
+//! declared unprotected) must engage honestly on plants that cannot
+//! supply path diversity.
+
+use ofpc_bench::resil::{run_e18, E18Config};
+use ofpc_net::{NodeId, Topology};
+use ofpc_par::WorkerPool;
+use ofpc_resil::{MultipathPlan, RedundancyMode};
+use ofpc_serve::{
+    ArrivalSpec, BatchPolicy, ServeConfig, ServeRuntime, ServiceModel, SiteSpec, TenantSpec,
+};
+use ofpc_transponder::compute::ComputeTransponderConfig;
+
+/// The ISSUE's headline contract, end to end: one seeded storm, three
+/// protection modes, byte-identical arrivals. The storm must force
+/// failures on the unprotected baseline; both proactive modes must
+/// deliver every request; and the redundancy machinery itself must be
+/// visibly exercised (replicas absorbing losses, parity reconstructing).
+#[test]
+fn storm_forces_baseline_failures_but_protected_modes_lose_nothing() {
+    let rep = run_e18(&WorkerPool::new(2), &E18Config::mini());
+
+    let base = &rep.runs[0];
+    assert_eq!(base.mode, "unprotected");
+    assert!(
+        base.failed > 0,
+        "the storm must shed/expire work on the reactive baseline, \
+         else the comparison proves nothing"
+    );
+    assert!(base.availability < 1.0);
+    assert!(rep.link_cuts >= rep.config.storm.bursts);
+
+    for run in &rep.runs[1..] {
+        assert_eq!(run.failed, 0, "{}: zero lost work required", run.mode);
+        assert_eq!(run.report.arrivals, run.report.completed);
+        assert_eq!(run.availability, 1.0);
+        assert_eq!(run.resil.unsettled_sets, 0, "{}: stranded member", run.mode);
+        assert_eq!(
+            run.resil.sets_lost, 0,
+            "{}: a set exceeded its budget",
+            run.mode
+        );
+        assert!(run.resil.link_cuts_seen as usize >= rep.config.storm.bursts);
+    }
+
+    let replica = &rep.runs[1];
+    assert!(replica.resil.replica_sets > 0);
+    assert!(
+        replica.resil.losses_absorbed > 0,
+        "the storm must actually kill replica members for the survivor to cover"
+    );
+    let parity = &rep.runs[2];
+    assert!(parity.resil.parity_sets > 0);
+    assert!(
+        parity.resil.reconstructions > 0 && parity.resil.reconstructed_requests > 0,
+        "lost parity-group members must be reconstructed, not retried"
+    );
+    assert!(parity.resil.reconstruct_energy_j > 0.0);
+}
+
+/// The energy side of the same contract: protection may not cost more
+/// than the gates allow, and coding must undercut full replication.
+#[test]
+fn protection_energy_overhead_is_within_the_acceptance_gates() {
+    let rep = run_e18(&WorkerPool::new(2), &E18Config::mini());
+    let replica = &rep.runs[1];
+    let parity = &rep.runs[2];
+    assert!(
+        replica.energy_overhead <= 2.1,
+        "replica {:.3}x above the 2.1x gate",
+        replica.energy_overhead
+    );
+    assert!(
+        parity.energy_overhead <= 1.5,
+        "parity {:.3}x above the 1.5x gate",
+        parity.energy_overhead
+    );
+    assert!(
+        parity.energy_overhead < replica.energy_overhead,
+        "parity {:.3}x must undercut replica {:.3}x",
+        parity.energy_overhead,
+        replica.energy_overhead
+    );
+}
+
+/// Graceful degradation on a plant with no diversity to offer: a line
+/// topology funnels both sites through the same first span, so replica
+/// sets cannot be placed on disjoint paths. The runtime must serialize
+/// them onto the one path — declared, counted, and still delivering
+/// everything — rather than silently pretending to be protected.
+#[test]
+fn line_topology_serializes_replicas_and_still_delivers_everything() {
+    let topo = Topology::line(3, 10.0);
+    let plan = MultipathPlan::plan(&topo, NodeId(0), &[NodeId(1), NodeId(2)]);
+    assert_eq!(plan.diversity(), 1, "a line has exactly one entry span");
+
+    let sites = vec![
+        SiteSpec {
+            node: NodeId(1),
+            slots: 2,
+            access_ps: plan.routes[0].route.delay_ps,
+        },
+        SiteSpec {
+            node: NodeId(2),
+            slots: 2,
+            access_ps: plan.routes[1].route.delay_ps,
+        },
+    ];
+    let config = ServeConfig {
+        seed: 181,
+        horizon_ps: 1_000_000_000,
+        drain_grace_ps: 600_000_000,
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait_ps: 20_000_000,
+        },
+        tenants: vec![TenantSpec {
+            name: "steady".to_string(),
+            weight: 1,
+            queue_capacity: 256,
+            arrivals: ArrivalSpec::Poisson { rate_rps: 4e5 },
+            primitive: ofpc_engine::Primitive::VectorDotProduct,
+            operand_len: 1024,
+            deadline_ps: u64::MAX,
+        }],
+        verify_every: 0,
+    };
+    let model = ServiceModel::from_transponder(&ComputeTransponderConfig::ideal(), 2);
+    let (report, resil) = ServeRuntime::new(config, model, sites)
+        .with_redundancy(&[RedundancyMode::Replica], plan)
+        .run_with_resil();
+
+    assert!(report.arrivals > 0);
+    assert_eq!(report.arrivals, report.completed, "no work may be lost");
+    assert!(resil.replica_sets > 0);
+    assert_eq!(
+        resil.serialized_fallback_sets, resil.replica_sets,
+        "every set on a diversity-1 plant must be declared serialized"
+    );
+    assert_eq!(resil.unprotected_downgrades, 0);
+    assert_eq!(resil.unsettled_sets, 0);
+}
