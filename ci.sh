@@ -42,6 +42,12 @@ echo "==> core kernel benches (dot product, network sim)"
 run_no_warnings cargo bench --offline -q -p ofpc-bench --bench dot_product
 run_no_warnings cargo bench --offline -q -p ofpc-bench --bench network_sim
 
+echo "==> kernel differential suite (scalar vs vectorized backends, tests/kernels.rs)"
+run_no_warnings cargo test --offline --test kernels -q
+
+echo "==> vectorized kernel speedup gate (>=5x vs scalar, BENCH_BASELINE.json)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench kernel_speedup
+
 echo "==> parallel scaling & sequential regression gate (BENCH_BASELINE.json)"
 run_no_warnings cargo bench --offline -q -p ofpc-bench --bench par_scaling
 

@@ -2,33 +2,87 @@
 //!
 //! Measures how fast the *simulation* of the Fig.-2a pipeline runs per
 //! vector length — the number that bounds every higher-level experiment
-//! — alongside the modeled device latency for context.
+//! — alongside the modeled device latency for context. Both kernel
+//! backends are measured (the scalar reference and the vectorized
+//! fused-power-domain path), and a summary table reports throughput in
+//! GMAC/s — multiply-accumulates per wall-clock second, the figure of
+//! merit the photonic-computing literature quotes — next to the
+//! wall-time criterion prints.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ofpc_engine::dot::{DotProductUnit, DotUnitConfig};
+use ofpc_engine::dot::{DotProductUnit, DotUnitConfig, KernelBackend};
 use ofpc_photonics::SimRng;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// A calibrated unit from a fixed seed on the given config + backend.
+fn calibrated(mut config: DotUnitConfig, backend: KernelBackend) -> DotProductUnit {
+    config.backend = backend;
+    let mut rng = SimRng::seed_from_u64(1);
+    let mut unit = DotProductUnit::new(config, &mut rng);
+    unit.calibrate(256);
+    unit
+}
 
 fn bench_dot(c: &mut Criterion) {
     let mut group = c.benchmark_group("p1_dot_product");
     for &n in &[16usize, 64, 256] {
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("ideal", n), &n, |b, &n| {
-            let mut unit = DotProductUnit::ideal();
-            let a = vec![0.5; n];
-            let w = vec![0.25; n];
-            b.iter(|| black_box(unit.dot_nonneg(black_box(&a), black_box(&w))));
-        });
-        group.bench_with_input(BenchmarkId::new("realistic", n), &n, |b, &n| {
-            let mut rng = SimRng::seed_from_u64(1);
-            let mut unit = DotProductUnit::new(DotUnitConfig::realistic(), &mut rng);
-            unit.calibrate(256);
-            let a = vec![0.5; n];
-            let w = vec![0.25; n];
-            b.iter(|| black_box(unit.dot_nonneg(black_box(&a), black_box(&w))));
-        });
+        for (label, config) in [
+            ("ideal", DotUnitConfig::ideal()),
+            ("realistic", DotUnitConfig::realistic()),
+        ] {
+            for (suffix, backend) in [
+                ("", KernelBackend::Scalar),
+                ("-vectorized", KernelBackend::Vectorized),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}{suffix}"), n),
+                    &n,
+                    |b, &n| {
+                        let mut unit = calibrated(config.clone(), backend);
+                        let a = vec![0.5; n];
+                        let w = vec![0.25; n];
+                        b.iter(|| black_box(unit.dot_nonneg(black_box(&a), black_box(&w))));
+                    },
+                );
+            }
+        }
     }
     group.finish();
+}
+
+/// Explicit GMAC/s summary for the hot configuration (realistic, both
+/// backends): MACs per wall-clock second over a sustained run.
+fn bench_gmacs(_c: &mut Criterion) {
+    let n = 256usize;
+    let reps = 200usize;
+    for (label, backend) in [
+        ("scalar", KernelBackend::Scalar),
+        ("vectorized", KernelBackend::Vectorized),
+    ] {
+        let mut unit = calibrated(DotUnitConfig::realistic(), backend);
+        let a = vec![0.5; n];
+        let w = vec![0.25; n];
+        // Warm-up (LUT build, allocator).
+        for _ in 0..reps {
+            black_box(unit.dot_nonneg(black_box(&a), black_box(&w)));
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                black_box(unit.dot_nonneg(black_box(&a), black_box(&w)));
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let gmacs = (n * reps) as f64 / best / 1e9;
+        println!(
+            "p1_dot_product/gmacs/realistic-{label:<10}  {:>8.2} ms for {} MACs -> {gmacs:.4} GMAC/s",
+            best * 1e3,
+            n * reps,
+        );
+    }
 }
 
 fn bench_signed(c: &mut Criterion) {
@@ -40,5 +94,5 @@ fn bench_signed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dot, bench_signed);
+criterion_group!(benches, bench_dot, bench_gmacs, bench_signed);
 criterion_main!(benches);

@@ -13,6 +13,8 @@
 //!   up as a fixture diff, reviewed like any other golden change
 //!   (regenerate with `cargo run -p ofpc-bench --bin golden_regen`).
 
+use ofpc_engine::batch::{BatchEngine, KernelOutput, KernelSpec};
+use ofpc_engine::dot::KernelBackend;
 use ofpc_par::WorkerPool;
 use ofpc_serve::{
     run_sweep, ArrivalSpec, BatchPolicy, EngineFaultEvent, ServeConfig, SweepScenario, TenantSpec,
@@ -92,28 +94,44 @@ fn mini_outage() -> Vec<EngineFaultEvent> {
     ]
 }
 
-/// Mini E12: the serving knee in miniature — 2 batching modes × 3 load
-/// points on the metro deployment.
-pub fn e12_mini(pool: &WorkerPool) -> String {
+/// The mini-E12 scenario grid: 2 batching modes × 3 load points on the
+/// metro deployment, verifying on `backend`.
+fn e12_scenarios(backend: KernelBackend) -> Vec<SweepScenario> {
     let mut scenarios = Vec::new();
     for &batching in &[true, false] {
         for &rps in &[1.5e6, 4e6, 8e6] {
-            scenarios.push(SweepScenario::metro(
+            let mut s = SweepScenario::metro(
                 &format!("e12-{}-{}", batching, rps as u64),
                 12,
                 4,
                 mini_config(12, rps, batching),
-            ));
+            );
+            s.verify_backend = backend;
+            scenarios.push(s);
         }
     }
-    let reports = run_sweep(pool, scenarios);
+    scenarios
+}
+
+/// Mini E12: the serving knee in miniature — 2 batching modes × 3 load
+/// points on the metro deployment.
+pub fn e12_mini(pool: &WorkerPool) -> String {
+    e12_mini_with_backend(pool, KernelBackend::Scalar)
+}
+
+/// [`e12_mini`] with the runtime verification engine on an explicit
+/// kernel backend. `Scalar` reproduces the pinned fixture; `Vectorized`
+/// must differ from it only in the verify-error statistics — the
+/// differential golden tests pin both claims.
+pub fn e12_mini_with_backend(pool: &WorkerPool, backend: KernelBackend) -> String {
+    let reports = run_sweep(pool, e12_scenarios(backend));
     crate::table::versioned_pretty(&reports)
 }
 
-/// Mini E13: the engine-outage window replayed with and without the
-/// digital fallback.
-pub fn e13_mini(pool: &WorkerPool) -> String {
-    let scenarios: Vec<SweepScenario> = [false, true]
+/// The mini-E13 scenario pair: the engine-outage window with and
+/// without the digital fallback, verifying on `backend`.
+fn e13_scenarios(backend: KernelBackend) -> Vec<SweepScenario> {
+    [false, true]
         .iter()
         .map(|&fallback| {
             let mut s = SweepScenario::metro(
@@ -124,10 +142,22 @@ pub fn e13_mini(pool: &WorkerPool) -> String {
             );
             s.engine_faults = mini_outage();
             s.digital_fallback = fallback;
+            s.verify_backend = backend;
             s
         })
-        .collect();
-    let reports = run_sweep(pool, scenarios);
+        .collect()
+}
+
+/// Mini E13: the engine-outage window replayed with and without the
+/// digital fallback.
+pub fn e13_mini(pool: &WorkerPool) -> String {
+    e13_mini_with_backend(pool, KernelBackend::Scalar)
+}
+
+/// [`e13_mini`] with the runtime verification engine on an explicit
+/// kernel backend (see [`e12_mini_with_backend`]).
+pub fn e13_mini_with_backend(pool: &WorkerPool, backend: KernelBackend) -> String {
+    let reports = run_sweep(pool, e13_scenarios(backend));
     crate::table::versioned_pretty(&reports)
 }
 
@@ -144,9 +174,16 @@ struct E14Mini {
 /// Runs the scenario twice through the pool (instrumented + bare) and
 /// asserts telemetry perturbed nothing before snapshotting.
 pub fn e14_mini(pool: &WorkerPool) -> String {
+    e14_mini_with_backend(pool, KernelBackend::Scalar)
+}
+
+/// [`e14_mini`] with the runtime verification engine on an explicit
+/// kernel backend (see [`e12_mini_with_backend`]).
+pub fn e14_mini_with_backend(pool: &WorkerPool, backend: KernelBackend) -> String {
     let mut scenario = SweepScenario::metro("e14", 14, 4, mini_config(14, 6e6, true));
     scenario.engine_faults = mini_outage();
     scenario.digital_fallback = true;
+    scenario.verify_backend = backend;
     let runs = pool.scatter_gather("e14-mini", vec![true, false], |_, instrument| {
         let tel = instrument.then(Telemetry::enabled);
         let report = match &tel {
@@ -186,6 +223,62 @@ pub fn e17_mini(pool: &WorkerPool) -> String {
     crate::table::versioned_pretty(&points)
 }
 
+/// The mixed kernel batch the `kernels_mini` fixture replays: signed
+/// and non-negative MVMs (multi-lane WDM), a correlator scan, and a
+/// pattern match — every [`KernelSpec`] variant, with operand values
+/// chosen to hit the interesting code points (0, full scale, mid-rail,
+/// sub-LSB).
+fn kernels_batch() -> Vec<KernelSpec> {
+    let sig = vec![true, true, false, true, false, false, true, true];
+    let mut stream = vec![false; 48];
+    stream[24..32].copy_from_slice(&sig);
+    vec![
+        KernelSpec::MvmNonneg {
+            matrix: vec![
+                vec![0.5, 0.25, 1.0, 0.0],
+                vec![0.125, 0.75, 0.0001, 0.9999],
+                vec![1.0, 1.0, 1.0, 1.0],
+            ],
+            x: vec![0.8, 0.0, 0.5, 1.0],
+            lanes: 2,
+        },
+        KernelSpec::MvmSigned {
+            matrix: vec![vec![0.5, -0.5, 0.25], vec![-1.0, 1.0, -0.125]],
+            x: vec![1.0, 0.5, -0.75],
+            lanes: 3,
+        },
+        KernelSpec::Correlate {
+            signatures: vec![sig.clone()],
+            stream,
+            tolerance: 0.4,
+            stride: 8,
+        },
+        KernelSpec::MatchBlock {
+            data: sig.clone(),
+            pattern: sig,
+        },
+    ]
+}
+
+#[derive(Debug, Serialize)]
+struct KernelsMini {
+    scalar: Vec<KernelOutput>,
+    vectorized: Vec<KernelOutput>,
+}
+
+/// Mini kernel fixture: the mixed batch replayed on both kernel
+/// backends from the same base seed, in one versioned document. Pins
+/// the scalar bytes (any drift is a golden diff) *and* the vectorized
+/// bytes (the fused kernels are deterministic per seed too — their own
+/// noise stream, but a replay-stable one).
+pub fn kernels_mini(pool: &WorkerPool) -> String {
+    let scalar = BatchEngine::realistic(81).execute(pool, kernels_batch());
+    let vectorized = BatchEngine::realistic(81)
+        .with_backend(KernelBackend::Vectorized)
+        .execute(pool, kernels_batch());
+    crate::table::versioned_pretty(&KernelsMini { scalar, vectorized })
+}
+
 /// A named golden-fixture generator.
 pub type GoldenCase = (&'static str, fn(&WorkerPool) -> String);
 
@@ -197,6 +290,7 @@ pub fn cases() -> Vec<GoldenCase> {
         ("e14_mini", e14_mini),
         ("e17_mini", e17_mini),
         ("e18_mini", e18_mini),
+        ("kernels_mini", kernels_mini),
     ]
 }
 
@@ -247,7 +341,14 @@ mod tests {
         let names: Vec<&str> = cases().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["e12_mini", "e13_mini", "e14_mini", "e17_mini", "e18_mini"]
+            vec![
+                "e12_mini",
+                "e13_mini",
+                "e14_mini",
+                "e17_mini",
+                "e18_mini",
+                "kernels_mini"
+            ]
         );
     }
 }

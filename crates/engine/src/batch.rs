@@ -102,6 +102,16 @@ impl BatchEngine {
         }
     }
 
+    /// Run every MVM kernel on the given
+    /// [`KernelBackend`](crate::dot::KernelBackend). The default
+    /// is `Scalar` (the byte-stable reference); `Vectorized` selects the
+    /// fused power-domain kernels — same physics and energy accounting,
+    /// deterministic per seed, different noise stream (DESIGN.md §12).
+    pub fn with_backend(mut self, backend: crate::dot::KernelBackend) -> Self {
+        self.dot_config.backend = backend;
+        self
+    }
+
     /// Share one pair of MZM amplitude-transmission caches (step `step_v`
     /// volts) across every MVM task in every batch. Calibration runs
     /// through the cache too, so the quantized curve is self-consistent.

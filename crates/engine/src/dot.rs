@@ -28,6 +28,8 @@ use ofpc_photonics::photodetector::{Photodetector, PhotodetectorConfig};
 use ofpc_photonics::signal::AnalogWaveform;
 use ofpc_photonics::SimRng;
 
+pub use ofpc_photonics::simd::KernelBackend;
+
 /// Where the `a` operand comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum OperandSource {
@@ -55,6 +57,15 @@ pub struct DotUnitConfig {
     pub sample_rate_hz: f64,
     /// Source of the `a` operand (see [`OperandSource`]).
     pub source: OperandSource,
+    /// Which kernel implementation executes the physical pass.
+    ///
+    /// `Scalar` (the default) is the reference device-by-device walk and
+    /// reproduces every historical result bit for bit. `Vectorized` runs
+    /// the same physics as fused power-domain loops over flat buffers:
+    /// deterministic per seed and statistically identical, but on a
+    /// different noise stream (see DESIGN.md §12 for the full contract).
+    #[serde(default)]
+    pub backend: KernelBackend,
 }
 
 impl DotUnitConfig {
@@ -74,6 +85,7 @@ impl DotUnitConfig {
             adc: ConverterConfig::ideal(12),
             sample_rate_hz: 32e9,
             source: OperandSource::OnFiber,
+            backend: KernelBackend::Scalar,
         }
     }
 
@@ -92,7 +104,57 @@ impl DotUnitConfig {
             },
             sample_rate_hz: 32e9,
             source: OperandSource::OnFiber,
+            backend: KernelBackend::Scalar,
         }
+    }
+}
+
+/// Reusable scratch buffers and lookup tables for the vectorized
+/// kernel, grown once and reused across passes so the steady state
+/// performs no per-pass allocation.
+#[derive(Debug, Clone, Default)]
+struct VecScratch {
+    /// Per-sample instantaneous power walking down the chain, W.
+    powers: Vec<f64>,
+    /// Per-sample power transmissions of the current modulator stage.
+    t2: Vec<f64>,
+    /// Quantized operand values (code → value grid).
+    vals: Vec<f64>,
+    /// DAC code → fused power transmission of `mzm_a` (Digital source,
+    /// passthrough drive only).
+    lut_a: Option<std::sync::Arc<Vec<f64>>>,
+    /// DAC code → fused power transmission of `mzm_b` (passthrough
+    /// drive only).
+    lut_b: Option<std::sync::Arc<Vec<f64>>>,
+    /// Whether the LUTs above have been (not) built for this config.
+    luts_ready: bool,
+}
+
+/// A weight operand pre-encoded for the vectorized backend: the DAC
+/// quantization and the `mzm_b` power transfer are evaluated once and
+/// reused across every row of a matrix–vector product. Build with
+/// [`DotProductUnit::precode`] / [`DotProductUnit::precode_signed`].
+///
+/// Byte-compatible with the per-row path: the vectorized `b` side
+/// consumes no RNG, so a precoded pass produces bit-identical results
+/// to passing the same vector to [`DotProductUnit::dot_nonneg`] (the
+/// per-pass DAC energy and modulator symbol accounting still happen on
+/// every use).
+#[derive(Debug, Clone)]
+pub struct PrecodedOperand {
+    /// Per-element power transmission of the `b` modulator.
+    t2: Vec<f64>,
+}
+
+impl PrecodedOperand {
+    /// Number of vector elements.
+    pub fn len(&self) -> usize {
+        self.t2.len()
+    }
+
+    /// Whether the operand holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.t2.is_empty()
     }
 }
 
@@ -107,6 +169,7 @@ pub struct DotProductUnit {
     dac: Dac,
     adc: Adc,
     calibration: Option<DotCalibration>,
+    scratch: VecScratch,
     /// Total scalar multiply-accumulates performed.
     pub macs_performed: u64,
     /// Dot products (readouts) performed.
@@ -124,6 +187,7 @@ impl DotProductUnit {
             adc: Adc::new(config.adc.clone(), rng.derive("p1-adc")),
             config,
             calibration: None,
+            scratch: VecScratch::default(),
             macs_performed: 0,
             readouts: 0,
         }
@@ -189,7 +253,17 @@ impl DotProductUnit {
 
     /// One physical pass: quantize, modulate, detect, integrate.
     /// Returns the *summed photocurrent* over the block (amps·samples).
+    /// Dispatches on the configured [`KernelBackend`].
     fn raw_pass(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        match self.config.backend {
+            KernelBackend::Scalar => self.raw_pass_scalar(a, b),
+            KernelBackend::Vectorized => self.raw_pass_vectorized(a, b),
+        }
+    }
+
+    /// The reference scalar pass: device-by-device field walk, kept
+    /// verbatim as the golden-replay baseline.
+    fn raw_pass_scalar(&mut self, a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(
             a.len(),
             b.len(),
@@ -245,6 +319,221 @@ impl DotProductUnit {
         current.samples.iter().sum()
     }
 
+    /// The vectorized pass: the whole chain collapses to power-domain
+    /// loops over one flat buffer — `p[i] = laser power × T_a(aᵢ) ×
+    /// T_b(bᵢ)`, then photodetection in place. Physics preserved (same
+    /// transfer curves, same noise variances, same energy accounting);
+    /// the per-element DAC conversions the scalar path discards are
+    /// elided and charged via [`Dac::charge_samples`], the laser phase
+    /// walk is skipped (invisible to square-law detection), and shot +
+    /// thermal noise collapse to one Gaussian draw per sample.
+    fn raw_pass_vectorized(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot-product operands must match in length"
+        );
+        assert!(!a.is_empty(), "dot product of empty vectors");
+        let n = a.len();
+        let rate = self.config.sample_rate_hz;
+        self.ensure_luts();
+        let mut powers = std::mem::take(&mut self.scratch.powers);
+        self.laser.emit_power_block(n, rate, &mut powers);
+        self.apply_mzm_a(a, &mut powers);
+        self.apply_mzm_b(b, &mut powers);
+        self.pd.detect_power_block(&mut powers, rate);
+        let sum = powers.iter().sum();
+        self.scratch.powers = powers;
+        self.macs_performed += n as u64;
+        self.readouts += 1;
+        sum
+    }
+
+    /// Apply the `a`-side encode + modulator power transfer in place.
+    fn apply_mzm_a(&mut self, a: &[f64], powers: &mut [f64]) {
+        let rate = self.config.sample_rate_hz;
+        match self.config.source {
+            OperandSource::Digital => {
+                if let Some(lut) = &self.scratch.lut_a {
+                    for (p, &x) in powers.iter_mut().zip(a) {
+                        *p *= lut[self.dac.encode_unit(x) as usize];
+                    }
+                } else {
+                    let mut vals = std::mem::take(&mut self.scratch.vals);
+                    vals.clear();
+                    vals.extend(
+                        a.iter()
+                            .map(|&x| self.adc.decode_unit(self.dac.encode_unit(x))),
+                    );
+                    let mut t2 = std::mem::take(&mut self.scratch.t2);
+                    self.mzm_a.power_transmissions_into(&vals, rate, &mut t2);
+                    for (p, &t) in powers.iter_mut().zip(&t2) {
+                        *p *= t;
+                    }
+                    self.scratch.vals = vals;
+                    self.scratch.t2 = t2;
+                }
+                // The scalar path converts the quantized operand and
+                // discards the waveform; pay for those conversions
+                // without performing them.
+                self.dac.charge_samples(a.len() as u64);
+            }
+            OperandSource::OnFiber => {
+                if self.mzm_a.is_drive_passthrough(rate) {
+                    let (floor, il) = self.mzm_a.fused_amplitude_constants();
+                    for (p, &x) in powers.iter_mut().zip(a) {
+                        let amp = x.clamp(0.0, 1.0).sqrt().max(floor) * il;
+                        *p *= amp * amp;
+                    }
+                } else {
+                    let mut t2 = std::mem::take(&mut self.scratch.t2);
+                    self.mzm_a.power_transmissions_into(a, rate, &mut t2);
+                    for (p, &t) in powers.iter_mut().zip(&t2) {
+                        *p *= t;
+                    }
+                    self.scratch.t2 = t2;
+                }
+            }
+        }
+        self.mzm_a.symbols_modulated += a.len() as u64;
+    }
+
+    /// Apply the `b`-side (always-digital weight) encode + modulator
+    /// power transfer in place, including the per-pass DAC charge.
+    fn apply_mzm_b(&mut self, b: &[f64], powers: &mut [f64]) {
+        let rate = self.config.sample_rate_hz;
+        if let Some(lut) = &self.scratch.lut_b {
+            for (p, &x) in powers.iter_mut().zip(b) {
+                *p *= lut[self.dac.encode_unit(x) as usize];
+            }
+        } else {
+            let mut vals = std::mem::take(&mut self.scratch.vals);
+            vals.clear();
+            vals.extend(
+                b.iter()
+                    .map(|&x| self.adc.decode_unit(self.dac.encode_unit(x))),
+            );
+            let mut t2 = std::mem::take(&mut self.scratch.t2);
+            self.mzm_b.power_transmissions_into(&vals, rate, &mut t2);
+            for (p, &t) in powers.iter_mut().zip(&t2) {
+                *p *= t;
+            }
+            self.scratch.vals = vals;
+            self.scratch.t2 = t2;
+        }
+        self.dac.charge_samples(b.len() as u64);
+        self.mzm_b.symbols_modulated += b.len() as u64;
+    }
+
+    /// Largest DAC code space a dense lookup table is built for.
+    const MAX_LUT_LEVELS: u64 = 1 << 16;
+
+    /// Build the code → power-transmission LUTs once per unit, where
+    /// the config allows it (passthrough drive, tractable code space).
+    /// Built through the [`ofpc_photonics::tfcache`] seam so the curve
+    /// values are bit-identical to any shared fused-power cache.
+    fn ensure_luts(&mut self) {
+        if self.scratch.luts_ready {
+            return;
+        }
+        let rate = self.config.sample_rate_hz;
+        if self.dac.levels() <= Self::MAX_LUT_LEVELS {
+            if self.config.source == OperandSource::Digital && self.mzm_a.is_drive_passthrough(rate)
+            {
+                self.scratch.lut_a = Some(Self::build_code_lut(
+                    &self.config.mzm_a,
+                    &self.dac,
+                    &self.adc,
+                ));
+            }
+            if self.mzm_b.is_drive_passthrough(rate) {
+                self.scratch.lut_b = Some(Self::build_code_lut(
+                    &self.config.mzm_b,
+                    &self.dac,
+                    &self.adc,
+                ));
+            }
+        }
+        self.scratch.luts_ready = true;
+    }
+
+    /// DAC code → fused power transmission of an MZM with `config`,
+    /// dense over the code space. The grid step puts every decoded code
+    /// on a cache grid point, so the table is the fused curve itself.
+    fn build_code_lut(config: &MzmConfig, dac: &Dac, adc: &Adc) -> std::sync::Arc<Vec<f64>> {
+        let step = 0.5 / (adc.levels() - 1) as f64;
+        let cache = ofpc_photonics::tfcache::mzm_fused_power_cache(config, step);
+        cache.preload((0..dac.levels()).map(|c| adc.decode_unit(c)));
+        std::sync::Arc::new(
+            (0..dac.levels())
+                .map(|c| cache.eval(adc.decode_unit(c)))
+                .collect(),
+        )
+    }
+
+    /// Pre-encode a non-negative weight vector (elements in `[0, 1]`)
+    /// for reuse across many [`DotProductUnit::dot_nonneg_precoded`]
+    /// calls. Vectorized backend only.
+    pub fn precode(&mut self, b: &[f64]) -> PrecodedOperand {
+        assert!(
+            self.config.backend == KernelBackend::Vectorized,
+            "precoding requires the vectorized backend"
+        );
+        self.ensure_luts();
+        let rate = self.config.sample_rate_hz;
+        let t2 = if let Some(lut) = &self.scratch.lut_b {
+            b.iter()
+                .map(|&x| lut[self.dac.encode_unit(x) as usize])
+                .collect()
+        } else {
+            let vals: Vec<f64> = b
+                .iter()
+                .map(|&x| self.adc.decode_unit(self.dac.encode_unit(x)))
+                .collect();
+            let mut t2 = Vec::new();
+            self.mzm_b.power_transmissions_into(&vals, rate, &mut t2);
+            t2
+        };
+        PrecodedOperand { t2 }
+    }
+
+    /// Pre-encode a signed weight vector as its positive/negative
+    /// decomposition, for [`DotProductUnit::dot_signed_precoded`].
+    pub fn precode_signed(&mut self, b: &[f64]) -> (PrecodedOperand, PrecodedOperand) {
+        let bp: Vec<f64> = b.iter().map(|&x| x.clamp(0.0, 1.0)).collect();
+        let bn: Vec<f64> = b.iter().map(|&x| (-x).clamp(0.0, 1.0)).collect();
+        (self.precode(&bp), self.precode(&bn))
+    }
+
+    /// The vectorized pass against a precoded `b` operand: identical to
+    /// [`DotProductUnit::raw_pass_vectorized`] with the `b`-side table
+    /// lookups replaced by the stored transmissions.
+    fn raw_pass_precoded(&mut self, a: &[f64], pre: &PrecodedOperand) -> f64 {
+        assert_eq!(
+            a.len(),
+            pre.len(),
+            "dot-product operands must match in length"
+        );
+        assert!(!a.is_empty(), "dot product of empty vectors");
+        let n = a.len();
+        let rate = self.config.sample_rate_hz;
+        self.ensure_luts();
+        let mut powers = std::mem::take(&mut self.scratch.powers);
+        self.laser.emit_power_block(n, rate, &mut powers);
+        self.apply_mzm_a(a, &mut powers);
+        for (p, &t) in powers.iter_mut().zip(&pre.t2) {
+            *p *= t;
+        }
+        self.dac.charge_samples(n as u64);
+        self.mzm_b.symbols_modulated += n as u64;
+        self.pd.detect_power_block(&mut powers, rate);
+        let sum = powers.iter().sum();
+        self.scratch.powers = powers;
+        self.macs_performed += n as u64;
+        self.readouts += 1;
+        sum
+    }
+
     /// Dot product of non-negative vectors with elements in `[0, 1]`.
     /// Requires prior calibration.
     pub fn dot_nonneg(&mut self, a: &[f64], b: &[f64]) -> f64 {
@@ -254,6 +543,24 @@ impl DotProductUnit {
             .as_ref()
             .expect("DotProductUnit must be calibrated before use; call calibrate()");
         let charge = self.raw_pass(a, b);
+        self.convert_readout(charge, n, cal)
+    }
+
+    /// Non-negative dot product against a precoded weight operand
+    /// (vectorized backend only; see [`PrecodedOperand`]).
+    pub fn dot_nonneg_precoded(&mut self, a: &[f64], b: &PrecodedOperand) -> f64 {
+        let n = a.len();
+        let cal = *self
+            .calibration
+            .as_ref()
+            .expect("DotProductUnit must be calibrated before use; call calibrate()");
+        let charge = self.raw_pass_precoded(a, b);
+        self.convert_readout(charge, n, cal)
+    }
+
+    /// Calibration-corrected single-sample ADC readout of an integrated
+    /// charge: the shared back half of every dot product.
+    fn convert_readout(&mut self, charge: f64, n: usize, cal: DotCalibration) -> f64 {
         let raw = (charge - n as f64 * cal.dark_current_a) / cal.unit_current_a;
         // Single ADC readout of the normalized integrator output.
         let normalized = (raw / n as f64).clamp(0.0, 1.0);
@@ -280,6 +587,32 @@ impl DotProductUnit {
         self.dot_nonneg(&ap, &bp) + self.dot_nonneg(&an, &bn)
             - self.dot_nonneg(&ap, &bn)
             - self.dot_nonneg(&an, &bp)
+    }
+
+    /// Signed dot product against a precoded weight decomposition from
+    /// [`DotProductUnit::precode_signed`]: the same four passes, in the
+    /// same order, as [`DotProductUnit::dot_signed`].
+    pub fn dot_signed_precoded(
+        &mut self,
+        a: &[f64],
+        bp: &PrecodedOperand,
+        bn: &PrecodedOperand,
+    ) -> f64 {
+        assert_eq!(
+            a.len(),
+            bp.len(),
+            "dot-product operands must match in length"
+        );
+        assert_eq!(
+            a.len(),
+            bn.len(),
+            "dot-product operands must match in length"
+        );
+        let ap: Vec<f64> = a.iter().map(|&x| x.clamp(0.0, 1.0)).collect();
+        let an: Vec<f64> = a.iter().map(|&x| (-x).clamp(0.0, 1.0)).collect();
+        self.dot_nonneg_precoded(&ap, bp) + self.dot_nonneg_precoded(&an, bn)
+            - self.dot_nonneg_precoded(&ap, bn)
+            - self.dot_nonneg_precoded(&an, bp)
     }
 
     /// Latency of one n-element dot product, seconds: the block occupies
@@ -478,5 +811,165 @@ mod tests {
             unit.dot_nonneg(&[0.3; 40], &[0.7; 40])
         };
         assert_eq!(run(), run());
+    }
+
+    fn vectorized(mut cfg: DotUnitConfig, seed: u64, cal: usize) -> DotProductUnit {
+        cfg.backend = KernelBackend::Vectorized;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut unit = DotProductUnit::new(cfg, &mut rng);
+        unit.calibrate(cal);
+        unit
+    }
+
+    #[test]
+    fn vectorized_results_are_deterministic_per_seed() {
+        let run = || {
+            let mut unit = vectorized(DotUnitConfig::realistic(), 7, 64);
+            unit.dot_nonneg(&[0.3; 40], &[0.7; 40])
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn vectorized_ideal_unit_matches_scalar_within_readout_lsb() {
+        // Noiseless config: the only divergence allowed between the
+        // backends is the final readout quantizing to an adjacent code —
+        // one LSB of the result scale, n/(2^bits − 1).
+        let mut scalar = DotProductUnit::ideal();
+        let mut vec = vectorized(DotUnitConfig::ideal(), 0, 64);
+        let n = 64;
+        let a: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (n - i) as f64 / n as f64).collect();
+        let lsb = n as f64 / ((1u64 << 12) - 1) as f64;
+        let (s, v) = (scalar.dot_nonneg(&a, &b), vec.dot_nonneg(&a, &b));
+        assert!((s - v).abs() <= lsb + 1e-12, "scalar {s} vectorized {v}");
+        let (s, v) = (
+            scalar.dot_signed(&[0.5, -0.25, 1.0, -0.5], &[-1.0, 0.5, 0.5, 1.0]),
+            vec.dot_signed(&[0.5, -0.25, 1.0, -0.5], &[-1.0, 0.5, 0.5, 1.0]),
+        );
+        let lsb4 = 4.0 / ((1u64 << 12) - 1) as f64;
+        assert!(
+            (s - v).abs() <= 4.0 * lsb4 + 1e-12,
+            "scalar {s} vectorized {v}"
+        );
+    }
+
+    #[test]
+    fn vectorized_digital_source_matches_scalar_within_readout_lsb() {
+        let mut cfg = DotUnitConfig::ideal();
+        cfg.source = OperandSource::Digital;
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut scalar = DotProductUnit::new(cfg.clone(), &mut rng);
+        scalar.calibrate(64);
+        let mut vec = vectorized(cfg, 0, 64);
+        let a = vec![0.5, 0.25, 1.0, 0.0, 0.75];
+        let b = vec![1.0, 0.5, 0.5, 1.0, 0.25];
+        let lsb = 5.0 / ((1u64 << 12) - 1) as f64;
+        let (s, v) = (scalar.dot_nonneg(&a, &b), vec.dot_nonneg(&a, &b));
+        assert!((s - v).abs() <= lsb + 1e-12, "scalar {s} vectorized {v}");
+    }
+
+    #[test]
+    fn precoded_weights_replay_per_row_results_byte_for_byte() {
+        let a = vec![0.3, -0.8, 0.1, 0.9, -0.4, 0.0, 0.65, -1.0];
+        let w = vec![0.2, 0.7, -0.5, 1.0, -0.15, 0.4, -0.9, 0.05];
+        let mut per_row = vectorized(DotUnitConfig::realistic(), 9, 256);
+        let mut pre = vectorized(DotUnitConfig::realistic(), 9, 256);
+        let (bp, bn) = pre.precode_signed(&w);
+        for _ in 0..3 {
+            let x = per_row.dot_signed(&a, &w);
+            let y = pre.dot_signed_precoded(&a, &bp, &bn);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Energy and symbol accounting must also be identical: precoding
+        // still pays the per-pass DAC and modulator costs.
+        assert_eq!(per_row.macs_performed, pre.macs_performed);
+        assert_eq!(
+            per_row.energy_ledger().total_j().to_bits(),
+            pre.energy_ledger().total_j().to_bits()
+        );
+    }
+
+    #[test]
+    fn vectorized_noisy_unit_is_approximately_right() {
+        let mut unit = vectorized(DotUnitConfig::realistic(), 3, 256);
+        let n = 64;
+        let a: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (n - i) as f64 / n as f64).collect();
+        let want = exact_dot(&a, &b);
+        let got = unit.dot_nonneg(&a, &b);
+        let rel = (got - want).abs() / want;
+        assert!(rel < 0.1, "relative error {rel} (got {got}, want {want})");
+    }
+
+    #[test]
+    fn vectorized_on_fiber_mode_skips_data_dac_energy() {
+        let mut cfg_fiber = DotUnitConfig::realistic();
+        cfg_fiber.source = OperandSource::OnFiber;
+        let mut cfg_digital = cfg_fiber.clone();
+        cfg_digital.source = OperandSource::Digital;
+        let mut on_fiber = vectorized(cfg_fiber, 4, 64);
+        let mut digital = vectorized(cfg_digital, 4, 64);
+        on_fiber.dot_nonneg(&[0.5; 128], &[0.5; 128]);
+        digital.dot_nonneg(&[0.5; 128], &[0.5; 128]);
+        let e_fiber = on_fiber.energy_ledger().get("dac");
+        let e_digital = digital.energy_ledger().get("dac");
+        assert!(
+            e_digital > 1.5 * e_fiber,
+            "digital DAC energy {e_digital} should dwarf on-fiber {e_fiber}"
+        );
+    }
+
+    #[test]
+    fn vectorized_dac_energy_matches_scalar_exactly() {
+        // The elided (discarded) conversions must still be charged:
+        // after identical workloads both backends report the same DAC
+        // sample count and energy.
+        let mut cfg = DotUnitConfig::realistic();
+        cfg.source = OperandSource::Digital;
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut scalar = DotProductUnit::new(cfg.clone(), &mut rng);
+        scalar.calibrate(64);
+        let mut vec = vectorized(cfg, 6, 64);
+        scalar.dot_signed(&[0.4; 32], &[-0.6; 32]);
+        vec.dot_signed(&[0.4; 32], &[-0.6; 32]);
+        assert_eq!(
+            scalar.energy_ledger().get("dac").to_bits(),
+            vec.energy_ledger().get("dac").to_bits()
+        );
+        assert_eq!(
+            scalar.energy_ledger().get("mzm-a").to_bits(),
+            vec.energy_ledger().get("mzm-a").to_bits()
+        );
+        assert_eq!(
+            scalar.energy_ledger().get("mzm-b").to_bits(),
+            vec.energy_ledger().get("mzm-b").to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn vectorized_mismatched_lengths_panic() {
+        let mut unit = vectorized(DotUnitConfig::ideal(), 0, 64);
+        unit.dot_nonneg(&[1.0, 0.5], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vectorized backend")]
+    fn precode_rejects_scalar_backend() {
+        let mut unit = DotProductUnit::ideal();
+        unit.precode(&[0.5]);
+    }
+
+    #[test]
+    fn backend_field_deserializes_with_default() {
+        // Configs serialized before the backend existed must load as
+        // Scalar, preserving historical replay.
+        let mut doc = serde_json::to_value(&DotUnitConfig::realistic()).unwrap();
+        if let serde_json::Value::Map(entries) = &mut doc {
+            entries.retain(|(k, _)| k != "backend");
+        }
+        let cfg: DotUnitConfig = serde_json::from_value(&doc).unwrap();
+        assert_eq!(cfg.backend, KernelBackend::Scalar);
     }
 }

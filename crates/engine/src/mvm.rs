@@ -7,7 +7,7 @@
 //! matrix-vector product over an `m×n` matrix finishes in
 //! `ceil(m / lanes)` sequential dot products.
 
-use crate::dot::{DotProductUnit, DotUnitConfig};
+use crate::dot::{DotProductUnit, DotUnitConfig, KernelBackend};
 use ofpc_photonics::energy::EnergyLedger;
 use ofpc_photonics::wdm::WdmGrid;
 use ofpc_photonics::SimRng;
@@ -89,8 +89,16 @@ impl PhotonicMatVec {
 
     /// `y = W·x` with signed entries in `[-1, 1]`. `matrix` is row-major:
     /// `matrix[r]` is row `r`, and every row must have `x.len()` entries.
+    ///
+    /// Under the vectorized backend the shared `x` operand (the `b` side
+    /// of every per-row dot product) is precoded once — DAC quantization
+    /// and MZM power transfer evaluated a single time instead of once per
+    /// row — which is byte-identical to the per-row path (see
+    /// [`crate::dot::PrecodedOperand`]).
     pub fn mat_vec_signed(&mut self, matrix: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
         assert!(!matrix.is_empty(), "empty matrix");
+        let precoded = (self.lanes[0].config.backend == KernelBackend::Vectorized)
+            .then(|| self.lanes[0].precode_signed(x));
         let mut y = Vec::with_capacity(matrix.len());
         for (r, row) in matrix.iter().enumerate() {
             assert_eq!(
@@ -101,21 +109,31 @@ impl PhotonicMatVec {
                 x.len()
             );
             let lane = r % self.lanes.len();
-            y.push(self.lanes[lane].dot_signed(row, x));
+            y.push(match &precoded {
+                Some((xp, xn)) => self.lanes[lane].dot_signed_precoded(row, xp, xn),
+                None => self.lanes[lane].dot_signed(row, x),
+            });
         }
         self.tel_mvms.inc();
         self.tel_macs.add((matrix.len() * x.len()) as u64);
         y
     }
 
-    /// `y = W·x` with entries in `[0, 1]`.
+    /// `y = W·x` with entries in `[0, 1]`. Precodes the shared `x`
+    /// operand once under the vectorized backend, like
+    /// [`PhotonicMatVec::mat_vec_signed`].
     pub fn mat_vec_nonneg(&mut self, matrix: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
         assert!(!matrix.is_empty(), "empty matrix");
+        let precoded = (self.lanes[0].config.backend == KernelBackend::Vectorized)
+            .then(|| self.lanes[0].precode(x));
         let mut y = Vec::with_capacity(matrix.len());
         for (r, row) in matrix.iter().enumerate() {
             assert_eq!(row.len(), x.len(), "matrix row {r} length mismatch");
             let lane = r % self.lanes.len();
-            y.push(self.lanes[lane].dot_nonneg(row, x));
+            y.push(match &precoded {
+                Some(xp) => self.lanes[lane].dot_nonneg_precoded(row, xp),
+                None => self.lanes[lane].dot_nonneg(row, x),
+            });
         }
         self.tel_mvms.inc();
         self.tel_macs.add((matrix.len() * x.len()) as u64);
@@ -224,6 +242,60 @@ mod tests {
         let x = vec![0.5; 16];
         e.mat_vec_nonneg(&m, &x);
         assert_eq!(e.macs_performed(), 64);
+    }
+
+    #[test]
+    fn vectorized_blocked_matvec_replays_per_row_dots_byte_for_byte() {
+        let mut cfg = DotUnitConfig::realistic();
+        cfg.backend = KernelBackend::Vectorized;
+        let mut rng1 = SimRng::seed_from_u64(21);
+        let mut rng2 = SimRng::seed_from_u64(21);
+        let mut blocked = PhotonicMatVec::new(cfg.clone(), 2, &mut rng1);
+        let mut manual = PhotonicMatVec::new(cfg, 2, &mut rng2);
+        blocked.calibrate(64);
+        manual.calibrate(64);
+        let m: Vec<Vec<f64>> = (0..6)
+            .map(|r| {
+                (0..8)
+                    .map(|c| ((r * 8 + c) % 7) as f64 / 3.5 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let x: Vec<f64> = (0..8).map(|c| (c as f64 / 7.0) * 2.0 - 1.0).collect();
+        let got = blocked.mat_vec_signed(&m, &x);
+        // Per-row reference: exactly what mat_vec_signed did before the
+        // blocked path existed.
+        let want: Vec<f64> = m
+            .iter()
+            .enumerate()
+            .map(|(r, row)| manual.lanes[r % 2].dot_signed(row, &x))
+            .collect();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        assert_eq!(blocked.macs_performed(), manual.macs_performed());
+        assert_eq!(
+            blocked.energy_ledger().total_j().to_bits(),
+            manual.energy_ledger().total_j().to_bits()
+        );
+    }
+
+    #[test]
+    fn vectorized_matvec_matches_exact_algebra() {
+        let mut cfg = DotUnitConfig::ideal();
+        cfg.backend = KernelBackend::Vectorized;
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut e = PhotonicMatVec::new(cfg, 4, &mut rng);
+        e.calibrate(64);
+        let m: Vec<Vec<f64>> = (0..8)
+            .map(|r| (0..4).map(|c| ((r * 4 + c) % 5) as f64 / 5.0).collect())
+            .collect();
+        let x = vec![0.2, 0.4, 0.6, 0.8];
+        let got = e.mat_vec_nonneg(&m, &x);
+        let want = exact_matvec(&m, &x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 0.02, "got {g} want {w}");
+        }
     }
 
     #[test]

@@ -86,15 +86,14 @@ impl Edfa {
         noise::ase_power_w(gain, self.nsp(), sample_rate_hz / 2.0, wavelength_m)
     }
 
-    /// Amplify a field block: gain (with output saturation) plus complex
-    /// Gaussian ASE noise distributed over the samples.
-    pub fn amplify(&mut self, input: &OpticalField) -> OpticalField {
-        let gain_lin = units::db_to_linear(self.config.gain_db);
-        // Saturation: cap mean output power at the saturation level.
-        let p_in = input.mean_power_w();
-        let effective_gain = match &self.gain_cache {
+    /// Effective linear gain for a block of mean input power `p_in`:
+    /// the configured gain capped by output saturation, served from the
+    /// attached [`crate::tfcache`] memo when present.
+    pub fn effective_gain(&self, p_in: f64) -> f64 {
+        match &self.gain_cache {
             Some(cache) => cache.eval(p_in),
             None => {
+                let gain_lin = units::db_to_linear(self.config.gain_db);
                 let p_sat = if self.config.saturation_dbm.is_finite() {
                     units::dbm_to_watts(self.config.saturation_dbm)
                 } else {
@@ -106,8 +105,15 @@ impl Edfa {
                     gain_lin
                 }
             }
-        };
-        let amp = effective_gain.sqrt();
+        }
+    }
+
+    /// Amplify a field block: gain (with output saturation) plus complex
+    /// Gaussian ASE noise distributed over the samples.
+    pub fn amplify(&mut self, input: &OpticalField) -> OpticalField {
+        // Saturation: cap mean output power at the saturation level.
+        let p_in = input.mean_power_w();
+        let amp = self.effective_gain(p_in).sqrt();
         let ase_total = self.ase_power_w(input.sample_rate_hz, input.wavelength_m);
         // Each quadrature gets half the ASE power.
         let sigma = (ase_total / 2.0).sqrt();
@@ -120,6 +126,29 @@ impl Edfa {
             *s = v;
         }
         out
+    }
+
+    /// Vectorized [`Edfa::amplify`] operating on a struct-of-arrays
+    /// block in place: same saturation-capped gain (including the
+    /// [`crate::tfcache`] seam) and the same ASE statistics, with the
+    /// quadrature noise drawn through the ziggurat sampler lane by lane.
+    /// Noiseless (zero-ASE) configurations are bit-identical to
+    /// `amplify`; noisy ones share distributions but not streams
+    /// (DESIGN.md §12).
+    pub fn amplify_block(&mut self, block: &mut crate::simd::FieldBlock) {
+        let p_in = block.mean_power_w();
+        let amp = self.effective_gain(p_in).sqrt();
+        let ase_total = self.ase_power_w(block.sample_rate_hz, block.wavelength_m);
+        let sigma = (ase_total / 2.0).sqrt();
+        block.scale_all(amp);
+        if sigma > 0.0 {
+            for v in &mut block.re {
+                *v += sigma * crate::simd::gauss::standard_normal(&mut self.rng);
+            }
+            for v in &mut block.im {
+                *v += sigma * crate::simd::gauss::standard_normal(&mut self.rng);
+            }
+        }
     }
 
     /// Output OSNR (dB) for a given input power, assuming this is the
@@ -223,6 +252,61 @@ mod tests {
         }
         // Power stays near launch (gain 16 dB balances 16 dB span loss).
         assert!((field.mean_power_w() / clean_power - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn amplify_block_matches_gain_and_ase_statistics() {
+        let cfg = EdfaConfig::default();
+        let mut e = Edfa::new(cfg.clone(), SimRng::seed_from_u64(6));
+        let input = OpticalField::cw(40_000, units::dbm_to_watts(-10.0), RATE, WL);
+        let mut block = crate::simd::FieldBlock::from_field(&input);
+        e.amplify_block(&mut block);
+        let gain = units::db_to_linear(16.0);
+        let p_expect = units::dbm_to_watts(-10.0) * gain;
+        let p_out = block.mean_power_w();
+        assert!((p_out / p_expect - 1.0).abs() < 0.01, "power {p_out}");
+        // Per-quadrature ASE variance = ase_total / 2.
+        let sigma2 = e.ase_power_w(RATE, WL) / 2.0;
+        let amp_mean = block.re.iter().sum::<f64>() / block.len() as f64;
+        let var = block
+            .re
+            .iter()
+            .map(|&r| (r - amp_mean).powi(2))
+            .sum::<f64>()
+            / block.len() as f64;
+        assert!((var / sigma2 - 1.0).abs() < 0.05, "re-lane var {var}");
+    }
+
+    #[test]
+    fn effective_gain_agrees_with_and_without_cache() {
+        let cfg = EdfaConfig {
+            gain_db: 30.0,
+            saturation_dbm: 10.0,
+            ..EdfaConfig::default()
+        };
+        let mut cached = Edfa::new(cfg.clone(), SimRng::seed_from_u64(7));
+        cached.set_gain_cache(crate::tfcache::edfa_gain_cache(&cfg, 1e-6));
+        let plain = Edfa::new(cfg, SimRng::seed_from_u64(7));
+        for p_in in [0.0, 1e-6, 1e-4, 1e-3, 1e-2] {
+            let a = plain.effective_gain(p_in);
+            let b = cached.effective_gain(p_in);
+            assert!(
+                (a - b).abs() / a.max(1e-12) < 1e-3,
+                "p_in {p_in}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn amplify_block_is_deterministic_per_seed() {
+        let input = OpticalField::cw(64, 1e-4, RATE, WL);
+        let mut e1 = Edfa::new(EdfaConfig::default(), SimRng::seed_from_u64(8));
+        let mut e2 = Edfa::new(EdfaConfig::default(), SimRng::seed_from_u64(8));
+        let mut b1 = crate::simd::FieldBlock::from_field(&input);
+        let mut b2 = crate::simd::FieldBlock::from_field(&input);
+        e1.amplify_block(&mut b1);
+        e2.amplify_block(&mut b2);
+        assert_eq!(b1, b2);
     }
 
     #[test]

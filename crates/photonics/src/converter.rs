@@ -129,6 +129,18 @@ impl Dac {
         out
     }
 
+    /// Account for `n` conversions without synthesizing the waveform.
+    ///
+    /// The scalar dot-product kernel converts every operand block and
+    /// immediately discards the waveform (the decoded codes are what
+    /// feed the drive synthesis). The vectorized kernel elides those
+    /// dead conversions for speed but must still pay for them in the
+    /// energy ledger — this bumps `samples_converted` exactly as
+    /// [`Dac::convert`] would, without touching the noise RNG.
+    pub fn charge_samples(&mut self, n: u64) {
+        self.samples_converted += n;
+    }
+
     /// Encode a normalized value in `[0,1]` to the nearest code.
     pub fn encode_unit(&self, x: f64) -> u64 {
         let max_code = self.levels() - 1;
@@ -277,6 +289,23 @@ mod tests {
         );
         dac.convert(&[0; 1000], RATE);
         assert!((dac.energy_consumed_j() - 2e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn charge_samples_matches_convert_energy() {
+        let cfg = ConverterConfig {
+            energy_per_sample_j: 2e-12,
+            ..ConverterConfig::ideal(8)
+        };
+        let mut converted = Dac::new(cfg.clone(), SimRng::seed_from_u64(0));
+        let mut charged = Dac::new(cfg, SimRng::seed_from_u64(0));
+        converted.convert(&[0; 1000], RATE);
+        charged.charge_samples(1000);
+        assert_eq!(converted.samples_converted, charged.samples_converted);
+        assert_eq!(
+            converted.energy_consumed_j().to_bits(),
+            charged.energy_consumed_j().to_bits()
+        );
     }
 
     #[test]

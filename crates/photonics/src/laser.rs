@@ -102,6 +102,43 @@ impl Laser {
         }
         field
     }
+
+    /// Vectorized *power-domain* emission: fill `out` with `n`
+    /// instantaneous power samples (W), RIN applied.
+    ///
+    /// The P1 chain is power-domain end to end (real MZM transmissions,
+    /// square-law detection), so the phase walk the scalar
+    /// [`Laser::emit`] synthesizes is provably invisible there:
+    /// `|√p·e^{iφ}|² = p` to the ulp. This path skips the walk entirely
+    /// — no phase normals are drawn and `self.phase` is left untouched —
+    /// and draws RIN through the ziggurat sampler, so its noise stream
+    /// differs from `emit`'s while staying deterministic per seed
+    /// (DESIGN.md §12). Do **not** use it where phase matters (coherent
+    /// detection, interference); use [`Laser::emit_block`] there.
+    pub fn emit_power_block(&mut self, n: usize, sample_rate_hz: f64, out: &mut Vec<f64>) {
+        let p0 = self.power_w();
+        let rin_sigma = if self.config.rin_db_hz.is_finite() {
+            noise::rin_sigma_w(p0, self.config.rin_db_hz, sample_rate_hz / 2.0)
+        } else {
+            0.0
+        };
+        out.clear();
+        out.resize(n, p0);
+        if rin_sigma > 0.0 {
+            for v in out.iter_mut() {
+                *v = (p0 + rin_sigma * crate::simd::gauss::standard_normal(&mut self.rng)).max(0.0);
+            }
+        }
+    }
+
+    /// Emit `n` samples straight into a struct-of-arrays block. Full
+    /// physics — RIN *and* the phase walk — with draw-for-draw the same
+    /// RNG consumption as [`Laser::emit`], so the two are bit-identical
+    /// per seed; only the output layout differs.
+    pub fn emit_block(&mut self, n: usize, sample_rate_hz: f64) -> crate::simd::FieldBlock {
+        let field = self.emit(n, sample_rate_hz);
+        crate::simd::FieldBlock::from_field(&field)
+    }
 }
 
 #[cfg(test)]
@@ -186,5 +223,64 @@ mod tests {
         let mut l1 = Laser::new(cfg.clone(), SimRng::seed_from_u64(7));
         let mut l2 = Laser::new(cfg, SimRng::seed_from_u64(7));
         assert_eq!(l1.emit(64, 10e9).samples, l2.emit(64, 10e9).samples);
+    }
+
+    #[test]
+    fn power_block_matches_emit_distribution() {
+        let cfg = LaserConfig {
+            power_dbm: 10.0,
+            rin_db_hz: -140.0,
+            linewidth_hz: 0.0,
+            ..LaserConfig::default()
+        };
+        let mut l = Laser::new(cfg, SimRng::seed_from_u64(11));
+        let mut powers = Vec::new();
+        l.emit_power_block(40_000, 10e9, &mut powers);
+        let p0 = units::dbm_to_watts(10.0);
+        let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+        assert!((mean - p0).abs() / p0 < 0.01, "mean {mean}");
+        let var = powers.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / powers.len() as f64;
+        let expect = noise::rin_sigma_w(p0, -140.0, 5e9);
+        assert!(
+            (var.sqrt() - expect).abs() / expect < 0.05,
+            "sigma {} vs {expect}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn noiseless_power_block_is_exact_and_skips_the_rng() {
+        let mut l = Laser::ideal(10.0);
+        let mut before = l.rng.clone();
+        let mut powers = Vec::new();
+        l.emit_power_block(64, 10e9, &mut powers);
+        let p0 = units::dbm_to_watts(10.0);
+        assert!(powers.iter().all(|p| p.to_bits() == p0.to_bits()));
+        // No RIN, no phase walk: the stream must be untouched.
+        assert_eq!(l.rng.next_u64(), before.next_u64());
+    }
+
+    #[test]
+    fn power_block_is_deterministic_per_seed() {
+        let cfg = LaserConfig::default();
+        let mut l1 = Laser::new(cfg.clone(), SimRng::seed_from_u64(9));
+        let mut l2 = Laser::new(cfg, SimRng::seed_from_u64(9));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        l1.emit_power_block(128, 10e9, &mut a);
+        l2.emit_power_block(128, 10e9, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn emit_block_matches_emit_bit_exactly() {
+        let cfg = LaserConfig::default();
+        let mut l1 = Laser::new(cfg.clone(), SimRng::seed_from_u64(5));
+        let mut l2 = Laser::new(cfg, SimRng::seed_from_u64(5));
+        let field = l1.emit(64, 10e9);
+        let block = l2.emit_block(64, 10e9);
+        for (s, (&re, &im)) in field.samples.iter().zip(block.re.iter().zip(&block.im)) {
+            assert_eq!(s.re.to_bits(), re.to_bits());
+            assert_eq!(s.im.to_bits(), im.to_bits());
+        }
     }
 }

@@ -30,6 +30,7 @@ pub mod parts;
 pub mod photodetector;
 pub mod rng;
 pub mod signal;
+pub mod simd;
 pub mod tfcache;
 pub mod units;
 pub mod wdm;

@@ -160,6 +160,114 @@ impl MachZehnderModulator {
         (theta - self.config.bias.phase_offset()) * 2.0 * self.config.v_pi / std::f64::consts::PI
     }
 
+    /// Whether the drive low-pass is a no-op at `sample_rate_hz`:
+    /// either the bandwidth is unlimited (0) or it is at/above Nyquist,
+    /// where [`AnalogWaveform::lowpass`] passes the waveform through
+    /// unchanged. When true, encode→modulate→detect pipelines may fuse
+    /// the transfer per sample (see
+    /// [`MachZehnderModulator::fused_power_transmission`]).
+    pub fn is_drive_passthrough(&self, sample_rate_hz: f64) -> bool {
+        self.config.bandwidth_hz <= 0.0 || self.config.bandwidth_hz >= sample_rate_hz / 2.0
+    }
+
+    /// Fused encode→transmit amplitude transfer: the amplitude
+    /// transmission this modulator produces when driven with
+    /// [`MachZehnderModulator::drive_for_transmission`]`(target)` and the
+    /// drive is not band-limited. The bias offset cancels in the
+    /// round trip (`θ = asin(√target) ∈ [0, π/2]`), so this collapses to
+    /// `max(√target, floor)·il` for every bias point — one `sqrt`
+    /// instead of an `asin`/`sin` pair, equal to the scalar round trip
+    /// within ~1 ulp.
+    pub fn fused_amplitude_transmission(&self, target: f64) -> f64 {
+        let (floor, il) = self.fused_amplitude_constants();
+        target.clamp(0.0, 1.0).sqrt().max(floor) * il
+    }
+
+    /// The `(floor, il)` pair of the fused amplitude transfer —
+    /// extinction-ratio leakage floor and insertion-loss amplitude
+    /// scale — hoisted out for block loops: the fused amplitude
+    /// transmission of `target` is `max(√target, floor)·il`. Both
+    /// values cost a `powf` to derive, which block kernels must not
+    /// pay per sample.
+    pub fn fused_amplitude_constants(&self) -> (f64, f64) {
+        let floor = if self.config.extinction_ratio_db.is_finite() {
+            units::db_to_linear(-self.config.extinction_ratio_db).sqrt()
+        } else {
+            0.0
+        };
+        let il = units::db_to_linear(-self.config.insertion_loss_db).sqrt();
+        (floor, il)
+    }
+
+    /// Fused encode→transmit *power* transfer (the square of
+    /// [`MachZehnderModulator::fused_amplitude_transmission`]).
+    pub fn fused_power_transmission(&self, target: f64) -> f64 {
+        let t = self.fused_amplitude_transmission(target);
+        t * t
+    }
+
+    /// Vectorized power-domain transfer for a block of target power
+    /// transmissions: fills `out` with the power transmission each
+    /// target actually experiences through encode (drive synthesis),
+    /// the drive low-pass, and the transfer curve. Uses the fused
+    /// one-`sqrt` path when the drive low-pass is a no-op at
+    /// `sample_rate_hz`, and the general drive-filtered path otherwise.
+    ///
+    /// Pure with respect to device state: no RNG is consumed and no
+    /// symbols are accounted (callers account symbols for the pass as a
+    /// whole). Any attached amplitude cache is bypassed — the fused
+    /// curve is evaluated directly (DESIGN.md §12).
+    pub fn power_transmissions_into(
+        &self,
+        targets: &[f64],
+        sample_rate_hz: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if self.is_drive_passthrough(sample_rate_hz) {
+            let (floor, il) = self.fused_amplitude_constants();
+            out.extend(targets.iter().map(|&t| {
+                let amp = t.clamp(0.0, 1.0).sqrt().max(floor) * il;
+                amp * amp
+            }));
+        } else {
+            let mut drive = AnalogWaveform::new(
+                targets
+                    .iter()
+                    .map(|&t| self.drive_for_transmission(t.clamp(0.0, 1.0)))
+                    .collect(),
+                sample_rate_hz,
+            );
+            drive.lowpass(self.config.bandwidth_hz);
+            out.extend(drive.samples.iter().map(|&v| {
+                let t = self.amplitude_transmission(v);
+                t * t
+            }));
+        }
+    }
+
+    /// Modulate a struct-of-arrays block in place: every sample's field
+    /// amplitude is scaled by `t(drive[i])`, exactly as
+    /// [`MachZehnderModulator::modulate`] does for `OpticalField`, but
+    /// without allocating an output block. Accounts the symbols.
+    pub fn modulate_block(&mut self, block: &mut crate::simd::FieldBlock, drive: &AnalogWaveform) {
+        assert_eq!(
+            block.len(),
+            drive.len(),
+            "drive waveform length must match optical block"
+        );
+        let mut drive = drive.clone();
+        if self.config.bandwidth_hz > 0.0 {
+            drive.lowpass(self.config.bandwidth_hz);
+        }
+        for (k, &v) in drive.samples.iter().enumerate() {
+            let t = self.cached_transmission(v);
+            block.re[k] *= t;
+            block.im[k] *= t;
+        }
+        self.symbols_modulated += block.len() as u64;
+    }
+
     /// Modulate `input` with the drive waveform; sample `i` of the output
     /// is the input field scaled by `t(drive[i])`. The drive is bandwidth
     /// limited first if the config specifies a finite bandwidth.
@@ -395,6 +503,113 @@ mod tests {
         // e^{iπ} = −1: destructive with the original.
         let sum = out.samples[0] + input.samples[0];
         assert!(sum.norm_sqr() < 1e-18);
+    }
+
+    #[test]
+    fn fused_transfer_matches_scalar_round_trip() {
+        // Every bias point, lossy and lossless, finite and infinite ER:
+        // encode→transmit through the scalar pair must equal the fused
+        // one-sqrt path up to the scalar path's own rounding. The scalar
+        // round trip carries the operating point through asin/sin with
+        // the bias added and subtracted, so its angle is off by a few
+        // ulps *absolutely*; in power that is an error of order
+        // EPS·√t + EPS², not EPS·t — the bound below mirrors that.
+        for bias in [BiasPoint::Null, BiasPoint::Quadrature, BiasPoint::Peak] {
+            for (il, er) in [(0.0, f64::INFINITY), (3.5, 25.0), (1.0, 20.0)] {
+                let m = MachZehnderModulator::new(MzmConfig {
+                    bias,
+                    insertion_loss_db: il,
+                    extinction_ratio_db: er,
+                    ..MzmConfig::ideal()
+                });
+                for target in [0.0, 1e-300, 1e-6, 0.001, 0.25, 0.5, 0.999, 1.0, 1.5, -0.3] {
+                    let scalar = {
+                        let t = m.amplitude_transmission(m.drive_for_transmission(target));
+                        t * t
+                    };
+                    let fused = m.fused_power_transmission(target);
+                    let err = (scalar - fused).abs();
+                    let tol = 4.0 * f64::EPSILON * scalar
+                        + 8.0 * f64::EPSILON * scalar.sqrt()
+                        + 32.0 * f64::EPSILON * f64::EPSILON;
+                    assert!(
+                        err <= tol,
+                        "bias {bias:?} il {il} er {er} target {target}: \
+                         scalar {scalar} fused {fused}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_transmissions_into_matches_modulate_when_band_limited() {
+        // The general (drive-filtered) vectorized path must reproduce
+        // the scalar modulate pipeline exactly, IIR transient included.
+        let cfg = MzmConfig {
+            bandwidth_hz: 1e9, // well below Nyquist at 10 GS/s
+            insertion_loss_db: 2.0,
+            extinction_ratio_db: 22.0,
+            ..MzmConfig::ideal()
+        };
+        let mut scalar_m = MachZehnderModulator::new(cfg.clone());
+        let vec_m = MachZehnderModulator::new(cfg);
+        assert!(!vec_m.is_drive_passthrough(RATE));
+        let targets: Vec<f64> = (0..32).map(|i| (i as f64 / 31.0).powi(2)).collect();
+        let input = cw(32);
+        let drive = AnalogWaveform::new(
+            targets
+                .iter()
+                .map(|&t| scalar_m.drive_for_transmission(t))
+                .collect(),
+            RATE,
+        );
+        let out = scalar_m.modulate(&input, &drive);
+        let mut t2 = Vec::new();
+        vec_m.power_transmissions_into(&targets, RATE, &mut t2);
+        for (k, &t) in t2.iter().enumerate().take(32) {
+            let want = out.power_at(k) / input.power_at(k);
+            assert!(
+                (t - want).abs() < 1e-12,
+                "sample {k}: vector {t} scalar {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn passthrough_predicate_matches_lowpass_behavior() {
+        let m = |bw: f64| {
+            MachZehnderModulator::new(MzmConfig {
+                bandwidth_hz: bw,
+                ..MzmConfig::ideal()
+            })
+        };
+        assert!(m(0.0).is_drive_passthrough(RATE)); // unlimited
+        assert!(m(RATE / 2.0).is_drive_passthrough(RATE)); // at Nyquist
+        assert!(m(40e9).is_drive_passthrough(RATE)); // above Nyquist
+        assert!(!m(RATE / 2.0 - 1.0).is_drive_passthrough(RATE));
+    }
+
+    #[test]
+    fn modulate_block_matches_modulate_bit_exactly() {
+        let cfg = MzmConfig {
+            bandwidth_hz: 3e9,
+            insertion_loss_db: 3.5,
+            extinction_ratio_db: 25.0,
+            ..MzmConfig::ideal()
+        };
+        let mut aos = MachZehnderModulator::new(cfg.clone());
+        let mut soa = MachZehnderModulator::new(cfg);
+        let input = cw(64);
+        let drive = AnalogWaveform::new((0..64).map(|i| (i % 5) as f64 * 0.7).collect(), RATE);
+        let out = aos.modulate(&input, &drive);
+        let mut block = crate::simd::FieldBlock::from_field(&input);
+        soa.modulate_block(&mut block, &drive);
+        for k in 0..64 {
+            assert_eq!(out.samples[k].re.to_bits(), block.re[k].to_bits());
+            assert_eq!(out.samples[k].im.to_bits(), block.im[k].to_bits());
+        }
+        assert_eq!(aos.symbols_modulated, soa.symbols_modulated);
     }
 
     #[test]

@@ -126,6 +126,62 @@ impl Photodetector {
         out
     }
 
+    /// Fused power-domain detection for the vectorized kernels: on
+    /// entry, `samples` holds instantaneous optical powers (W); on
+    /// return it holds photocurrent samples (A), band-limited exactly as
+    /// [`Photodetector::detect`] would. No intermediate waveform is
+    /// allocated.
+    ///
+    /// Shot and thermal noise are folded into a *single* Gaussian draw
+    /// per sample — independent Gaussian variances add, so the
+    /// distribution is identical to the scalar two-draw path — taken
+    /// from the ziggurat sampler over this detector's own RNG. The draw
+    /// stream therefore differs from [`Photodetector::detect`]'s while
+    /// staying deterministic per seed (DESIGN.md §12).
+    pub fn detect_power_block(&mut self, samples: &mut [f64], sample_rate_hz: f64) {
+        let bw = self.noise_bandwidth(sample_rate_hz);
+        let thermal_var = if self.config.thermal_noise {
+            let sigma =
+                noise::thermal_noise_sigma_a(self.config.load_ohms, bw, self.config.temperature_k);
+            sigma * sigma
+        } else {
+            0.0
+        };
+        // 2q·bw: shot variance per amp of photocurrent.
+        let shot_coeff = if self.config.shot_noise {
+            let unit = noise::shot_noise_sigma_a(1.0, bw);
+            unit * unit
+        } else {
+            0.0
+        };
+        let noisy = shot_coeff > 0.0 || thermal_var > 0.0;
+        for s in samples.iter_mut() {
+            let mut i = self.config.responsivity_a_w * *s + self.config.dark_current_a;
+            if noisy {
+                let var = shot_coeff * i.abs() + thermal_var;
+                if var > 0.0 {
+                    i += var.sqrt() * crate::simd::gauss::standard_normal(&mut self.rng);
+                }
+            }
+            *s = i;
+        }
+        if self.config.bandwidth_hz > 0.0 && self.config.bandwidth_hz < sample_rate_hz / 2.0 {
+            // Single-pole IIR, mirroring `AnalogWaveform::lowpass` on the
+            // non-passthrough branch.
+            let dt = 1.0 / sample_rate_hz;
+            let rc = 1.0 / (std::f64::consts::TAU * self.config.bandwidth_hz);
+            let alpha = dt / (rc + dt);
+            let mut y = 0.0;
+            for s in samples.iter_mut() {
+                y += alpha * (*s - y);
+                *s = y;
+            }
+        }
+        if sample_rate_hz > 0.0 {
+            self.seconds_active += samples.len() as f64 / sample_rate_hz;
+        }
+    }
+
     /// Mean photocurrent that a CW input of `power_w` would produce, A.
     pub fn expected_current_a(&self, power_w: f64) -> f64 {
         self.config.responsivity_a_w * power_w + self.config.dark_current_a
@@ -289,6 +345,61 @@ mod tests {
         pd.detect(&f);
         let expect = 0.5 * 10_000.0 / RATE;
         assert!((pd.energy_consumed_j() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_power_block_matches_detect_bit_exactly() {
+        // With noise off, the fused power-domain path is algebraically
+        // identical to the scalar path (same adds, same IIR) — require
+        // bit equality, band-limited case included.
+        for bw in [0.0, 3e9, 40e9] {
+            let cfg = PhotodetectorConfig {
+                bandwidth_hz: bw,
+                dark_current_a: 5e-9,
+                ..PhotodetectorConfig::ideal()
+            };
+            let mut aos = Photodetector::new(cfg.clone(), SimRng::seed_from_u64(4));
+            let mut soa = Photodetector::new(cfg, SimRng::seed_from_u64(4));
+            let mut f = OpticalField::cw(32, 1e-3, RATE, WL);
+            for (i, s) in f.samples.iter_mut().enumerate() {
+                *s = s.scale(((i % 7) as f64 + 1.0) / 7.0);
+            }
+            let want = aos.detect(&f);
+            let mut powers: Vec<f64> = f.samples.iter().map(|s| s.norm_sqr()).collect();
+            soa.detect_power_block(&mut powers, RATE);
+            for (k, &p) in powers.iter().enumerate().take(32) {
+                assert_eq!(want.samples[k].to_bits(), p.to_bits(), "bw {bw} sample {k}");
+            }
+            assert!((aos.seconds_active - soa.seconds_active).abs() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn combined_noise_draw_has_the_right_variance() {
+        // One fused Gaussian draw per sample must carry the *sum* of the
+        // shot and thermal variances.
+        let cfg = PhotodetectorConfig {
+            shot_noise: true,
+            thermal_noise: true,
+            bandwidth_hz: 0.0,
+            ..PhotodetectorConfig::ideal()
+        };
+        let mut pd = Photodetector::new(cfg, SimRng::seed_from_u64(5));
+        let p = 1e-3;
+        let mut samples = vec![p; 40_000];
+        pd.detect_power_block(&mut samples, RATE);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let shot = noise::shot_noise_sigma_a(p, RATE / 2.0);
+        let thermal = noise::thermal_noise_sigma_a(50.0, RATE / 2.0, units::ROOM_TEMP_K);
+        let expect = (shot * shot + thermal * thermal).sqrt();
+        assert!((mean - p).abs() < 5.0 * expect / 200.0, "mean {mean}");
+        assert!(
+            (var.sqrt() - expect).abs() / expect < 0.05,
+            "sigma {} expect {expect}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Vectorized (struct-of-arrays) photonics kernels.
+//!
+//! The scalar device models walk one `Complex` sample at a time and pay
+//! for physics nobody downstream observes: the P1 dot-product chain is
+//! *power-domain end to end* (MZM transmission is a real scale, the
+//! photodetector is square-law), yet the scalar path synthesizes phase
+//! walks, discarded DAC waveforms, and per-stage `OpticalField` clones
+//! for every sample. This module holds the data-parallel counterparts:
+//!
+//! - [`FieldBlock`] — struct-of-arrays optical field buffers (separate
+//!   re/im lanes) that convert losslessly to/from
+//!   [`OpticalField`](crate::signal::OpticalField);
+//! - [`gauss`] — a 256-layer ziggurat Gaussian sampler over [`SimRng`]
+//!   (several times cheaper per draw than the Box–Muller path in
+//!   [`SimRng::standard_normal`]), used by the fused block kernels;
+//! - [`KernelBackend`] — the selection contract between the scalar
+//!   reference implementations and the vectorized kernels.
+//!
+//! # Backend contract (DESIGN.md §12)
+//!
+//! `Scalar` is the reference implementation and the default everywhere:
+//! its RNG draw sequence and arithmetic are pinned by the golden-replay
+//! fixtures and must never change. `Vectorized` computes the *same
+//! physics* — identical deterministic-per-seed noise distributions,
+//! identical energy accounting — but draws its noise from a different
+//! (still seeded, still replay-stable) stream and fuses transfer
+//! functions, so its outputs agree with the scalar path exactly in
+//! noiseless configs (to converter quantization) and statistically in
+//! noisy ones. The differential suite in `tests/kernels.rs` enforces
+//! both bounds forever.
+//!
+//! [`SimRng`]: crate::SimRng
+//! [`SimRng::standard_normal`]: crate::SimRng::standard_normal
+
+pub mod field;
+pub mod gauss;
+
+pub use field::FieldBlock;
+
+/// Which kernel implementation a photonic unit runs.
+///
+/// The scalar path is the bit-stable reference: every golden fixture is
+/// pinned against it. The vectorized path is opt-in, deterministic per
+/// seed, and differentially tested against the scalar path (see the
+/// module docs for the exact equivalence contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelBackend {
+    /// Per-sample reference implementation; byte-stable RNG streams.
+    #[default]
+    Scalar,
+    /// Struct-of-arrays fused kernels; same physics, own noise stream.
+    Vectorized,
+}
+
+// Hand-rolled serde impls (not derived) so that a config document
+// written before the backend existed deserializes as `Scalar`: the
+// `missing()` hook is what gives the field `#[serde(default)]`
+// semantics under the vendored value-based serde.
+impl serde::Serialize for KernelBackend {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(String::from(match self {
+            KernelBackend::Scalar => "Scalar",
+            KernelBackend::Vectorized => "Vectorized",
+        }))
+    }
+}
+
+impl serde::Deserialize for KernelBackend {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) if s == "Scalar" => Ok(KernelBackend::Scalar),
+            serde::Value::Str(s) if s == "Vectorized" => Ok(KernelBackend::Vectorized),
+            _ => Err(serde::Error::expected("a KernelBackend variant name")),
+        }
+    }
+
+    fn missing() -> Result<Self, serde::Error> {
+        Ok(KernelBackend::Scalar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_round_trips_and_defaults_to_scalar_when_missing() {
+        for b in [KernelBackend::Scalar, KernelBackend::Vectorized] {
+            let v = serde::Serialize::to_value(&b);
+            let back: KernelBackend = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(b, back);
+        }
+        let missing: KernelBackend = <KernelBackend as serde::Deserialize>::missing().unwrap();
+        assert_eq!(missing, KernelBackend::Scalar);
+    }
+}

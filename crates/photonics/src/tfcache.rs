@@ -43,6 +43,25 @@ pub fn mzm_amplitude_cache(config: &MzmConfig, step_v: f64) -> Arc<TransferCache
     }))
 }
 
+/// A shared *value-domain* cache of the fused MZM power transfer for
+/// this `config`: target power transmission in `[0, 1]` → realized
+/// power transmission after the extinction-ratio floor and insertion
+/// loss ([`MachZehnderModulator::fused_power_transmission`]).
+///
+/// This is the lookup table behind the vectorized dot-product kernel:
+/// keyed on the *dimensionless target* rather than the drive voltage,
+/// so a grid step of `0.5/(ADC levels − 1)` makes the cache exact at
+/// every code the converters can produce (each decoded code lands on a
+/// grid point with zero quantization error). Only valid when the drive
+/// low-pass is a passthrough — see
+/// [`MachZehnderModulator::is_drive_passthrough`].
+pub fn mzm_fused_power_cache(config: &MzmConfig, step: f64) -> Arc<TransferCache> {
+    let reference = MachZehnderModulator::new(config.clone());
+    Arc::new(TransferCache::new(step, move |target| {
+        reference.fused_power_transmission(target)
+    }))
+}
+
 /// A shared saturation-gain cache for EDFAs with this `config`: mean
 /// input power (W) → effective linear gain after the saturation cap.
 /// Attach with [`crate::amplifier::Edfa::set_gain_cache`].
@@ -114,6 +133,25 @@ mod tests {
         // 64 samples but only 2 distinct drive levels → 2 grid points.
         assert_eq!(cache.len(), 2);
         assert!(cache.hits() >= 126);
+    }
+
+    #[test]
+    fn fused_power_cache_is_exact_at_converter_codes() {
+        // Grid step chosen so every 12-bit code decodes onto a grid
+        // point: the cache then returns the fused curve with zero
+        // quantization error at exactly the values the kernel feeds it.
+        let cfg = MzmConfig::default();
+        let m = MachZehnderModulator::new(cfg.clone());
+        let levels = 1u64 << 12;
+        let step = 0.5 / (levels - 1) as f64;
+        let cache = mzm_fused_power_cache(&cfg, step);
+        for code in (0..levels).step_by(37) {
+            let target = code as f64 / (levels - 1) as f64;
+            let got = cache.eval(target);
+            let want = m.fused_power_transmission(target);
+            let err = (got - want).abs();
+            assert!(err <= 4.0 * f64::EPSILON, "code {code}: {got} vs {want}");
+        }
     }
 
     #[test]

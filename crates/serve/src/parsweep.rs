@@ -50,6 +50,12 @@ pub struct SweepScenario {
     pub engine_faults: Vec<EngineFaultEvent>,
     /// Arm the digital CPU fallback path for faulted requests.
     pub digital_fallback: bool,
+    /// Kernel backend for the runtime's verification engine. `Scalar`
+    /// (what scenarios pinned before this field existed deserialize to)
+    /// leaves the runtime byte-identical to historical fixtures;
+    /// `Vectorized` runs verification on the fused kernels.
+    #[serde(default)]
+    pub verify_backend: ofpc_engine::dot::KernelBackend,
 }
 
 impl SweepScenario {
@@ -68,6 +74,7 @@ impl SweepScenario {
             config,
             engine_faults: Vec::new(),
             digital_fallback: false,
+            verify_backend: ofpc_engine::dot::KernelBackend::Scalar,
         }
     }
 
@@ -100,7 +107,8 @@ impl SweepScenario {
             self.wdm_channels,
             self.config.clone(),
         )
-        .with_engine_faults(&self.engine_faults);
+        .with_engine_faults(&self.engine_faults)
+        .with_verify_backend(self.verify_backend);
         if self.digital_fallback {
             runtime = runtime.with_digital_fallback(ofpc_apps::digital::ComputeModel::cpu());
         }
@@ -178,6 +186,32 @@ mod tests {
         for w in arrivals.windows(2) {
             assert!(w[1] >= w[0], "arrival counts out of order: {arrivals:?}");
         }
+    }
+
+    #[test]
+    fn verify_backend_defaults_to_scalar_and_sweeps_deterministically() {
+        // A scenario document pinned before the backend field existed
+        // must parse with the scalar default.
+        let mut doc = serde_json::to_value(&grid()[0]).expect("serializes");
+        if let serde_json::Value::Map(entries) = &mut doc {
+            entries.retain(|(k, _)| k != "verify_backend");
+        }
+        let back: SweepScenario = serde_json::from_value(&doc).expect("parses");
+        assert_eq!(back.verify_backend, ofpc_engine::dot::KernelBackend::Scalar);
+        // Vectorized-verify sweeps stay byte-identical across workers.
+        let vec_grid = || {
+            let mut g = grid();
+            for s in &mut g {
+                s.verify_backend = ofpc_engine::dot::KernelBackend::Vectorized;
+            }
+            g
+        };
+        let bytes = |workers: usize| {
+            let reports = run_sweep(&WorkerPool::new(workers), vec_grid());
+            serde_json::to_string_pretty(&reports).expect("serializes")
+        };
+        let seq = bytes(1);
+        assert_eq!(seq, bytes(4));
     }
 
     #[test]

@@ -460,6 +460,22 @@ impl ServeRuntime {
         self
     }
 
+    /// Run the per-request verification engine on the given
+    /// [`KernelBackend`](ofpc_engine::dot::KernelBackend). `Scalar`
+    /// (the default) is a strict no-op —
+    /// the verify unit keeps the exact state `new` built, so historical
+    /// runs stay byte-identical. `Vectorized` rebuilds the calibration
+    /// on the fused kernels: same physics, own noise stream, so verify
+    /// error statistics stay equivalent while the sweep runs several
+    /// times faster (DESIGN.md §12).
+    pub fn with_verify_backend(mut self, backend: ofpc_engine::dot::KernelBackend) -> Self {
+        if backend != self.verify_unit.config.backend {
+            self.verify_unit.config.backend = backend;
+            self.verify_unit.calibrate(256);
+        }
+        self
+    }
+
     /// Enable graceful degradation: when photonic capacity is exhausted
     /// by faults, requests are answered by this digital baseline —
     /// correct results at worse latency and energy — instead of shedding.

@@ -50,6 +50,72 @@ fn e18_resilience_matches_golden() {
 }
 
 #[test]
+fn kernels_differential_matches_golden() {
+    check("kernels_mini");
+}
+
+#[test]
+fn kernels_replay_is_byte_identical_across_worker_counts() {
+    // Both halves of the kernel fixture — scalar and vectorized — fan
+    // the batch out over the pool; the document must not depend on how
+    // many workers carried it.
+    let narrow = ofpc_bench::golden::kernels_mini(&WorkerPool::new(1));
+    let two = ofpc_bench::golden::kernels_mini(&WorkerPool::new(2));
+    let wide = ofpc_bench::golden::kernels_mini(&WorkerPool::new(8));
+    assert_eq!(narrow, two, "1-worker vs 2-worker kernel bytes diverged");
+    assert_eq!(narrow, wide, "1-worker vs 8-worker kernel bytes diverged");
+}
+
+#[test]
+fn vectorized_verify_replays_e12_byte_identically_across_worker_counts() {
+    // The vectorized verification engine is deterministic per seed too:
+    // the whole mini-E12 sweep must replay byte-identically at any
+    // worker count with verification on the fused kernels.
+    use ofpc_engine::dot::KernelBackend;
+    let narrow = golden::e12_mini_with_backend(&WorkerPool::new(1), KernelBackend::Vectorized);
+    let two = golden::e12_mini_with_backend(&WorkerPool::new(2), KernelBackend::Vectorized);
+    let wide = golden::e12_mini_with_backend(&WorkerPool::new(8), KernelBackend::Vectorized);
+    assert_eq!(
+        narrow, two,
+        "1-worker vs 2-worker vectorized-verify E12 diverged"
+    );
+    assert_eq!(
+        narrow, wide,
+        "1-worker vs 8-worker vectorized-verify E12 diverged"
+    );
+}
+
+#[test]
+fn vectorized_verify_differs_from_fixture_only_in_verify_stats() {
+    // Swapping the verification backend must not perturb the simulation
+    // itself: against the pinned scalar fixture, the only lines allowed
+    // to change are the verify-error statistics. (E17/E18 carry no
+    // verify unit, so the claim is scoped to the serving minis.)
+    use ofpc_engine::dot::KernelBackend;
+    let fixture = std::fs::read_to_string("results/golden/e12_mini.json").expect("fixture");
+    let current =
+        golden::e12_mini_with_backend(&WorkerPool::sequential(), KernelBackend::Vectorized);
+    let g: Vec<&str> = fixture.lines().collect();
+    let c: Vec<&str> = current.lines().collect();
+    assert_eq!(g.len(), c.len(), "line counts diverged");
+    let mut changed = 0;
+    for (i, (a, b)) in g.iter().zip(&c).enumerate() {
+        if a != b {
+            changed += 1;
+            assert!(
+                a.contains("verify_mean_abs_error"),
+                "line {} changed outside the verify stats:\n  golden : {a}\n  current: {b}",
+                i + 1
+            );
+        }
+    }
+    assert!(
+        changed > 0,
+        "vectorized verify produced identical bytes — backend not applied"
+    );
+}
+
+#[test]
 fn e18_replay_is_byte_identical_across_worker_counts() {
     // The three protection-mode runs fan out over the pool; the
     // comparison document must not depend on how many workers carried
