@@ -72,6 +72,15 @@ run_no_warnings cargo bench --offline -q -p ofpc-bench --bench resil_overhead
 echo "==> E18 proactive-resilience smoke run (expt_resil)"
 run_no_warnings cargo run --offline -q -p ofpc-bench --bin expt_resil
 
+echo "==> sharded-controller differential & churn suite (tests/shard.rs)"
+run_no_warnings cargo test --offline --test shard -q
+
+echo "==> shard scaling gate (determinism, >=2x @4w, decision latency vs BENCH_BASELINE.json)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench shard_scaling
+
+echo "==> E20 sharded-controller smoke run (expt_controller_shard, mini)"
+run_no_warnings env OFPC_E20_MINI=1 cargo run --offline -q -p ofpc-bench --bin expt_controller_shard
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

@@ -290,6 +290,7 @@ pub fn cases() -> Vec<GoldenCase> {
         ("e14_mini", e14_mini),
         ("e17_mini", e17_mini),
         ("e18_mini", e18_mini),
+        ("e20_mini", crate::shard::e20_mini),
         ("kernels_mini", kernels_mini),
     ]
 }
@@ -347,6 +348,7 @@ mod tests {
                 "e14_mini",
                 "e17_mini",
                 "e18_mini",
+                "e20_mini",
                 "kernels_mini"
             ]
         );

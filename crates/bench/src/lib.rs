@@ -7,6 +7,7 @@
 
 pub mod golden;
 pub mod resil;
+pub mod shard;
 pub mod table;
 
 pub use table::Table;

@@ -46,6 +46,41 @@ pub fn solve_greedy(instance: &ProblemInstance) -> GreedySolution {
     GreedySolution { allocation, score }
 }
 
+/// Greedy allocation in **demand order** (index order, not
+/// most-constrained-first). This is the discipline the sharded
+/// incremental controller uses: because demand `i`'s decision depends
+/// only on demands `< i`, a new arrival (which always carries the
+/// highest id) is a pure O(options) append, and a departure re-runs
+/// only the suffix after the departed demand — neither requires
+/// touching earlier decisions. The price is losing the
+/// most-constrained-first heuristic; E20 bounds the resulting quality
+/// gap against [`solve_greedy`] and the exact solver.
+pub fn solve_greedy_ordered(instance: &ProblemInstance) -> GreedySolution {
+    let mut used = vec![0usize; instance.node_slots.len()];
+    let mut choices = vec![None; instance.demand_count()];
+    for (d, options) in instance.options.iter().enumerate() {
+        for (o, option) in options.iter().enumerate() {
+            let mut need = std::collections::HashMap::new();
+            for &node in &option.placement {
+                *need.entry(node.0 as usize).or_insert(0usize) += 1;
+            }
+            let fits = need
+                .iter()
+                .all(|(&node, &k)| used[node] + k <= instance.node_slots[node]);
+            if fits {
+                for (&node, &k) in &need {
+                    used[node] += k;
+                }
+                choices[d] = Some(o);
+                break;
+            }
+        }
+    }
+    let allocation = Allocation { choices };
+    let score = crate::score(instance, &allocation);
+    GreedySolution { allocation, score }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +178,60 @@ mod tests {
         assert_eq!(exact.allocation.satisfied_count(), 2);
         assert!(greedy.allocation.satisfied_count() <= 2);
         assert!(exact.score >= greedy.score);
+    }
+
+    #[test]
+    fn ordered_greedy_is_prefix_stable() {
+        // The property the incremental controller leans on: solving a
+        // prefix of the demand list yields exactly the prefix of the
+        // full solution, so appending a demand never disturbs earlier
+        // choices.
+        let mut rng = SimRng::seed_from_u64(11);
+        let nodes = 3;
+        let options: Vec<Vec<AllocOption>> = (0..8)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        let placement = vec![rng.below(nodes) as u32];
+                        opt(&placement, 0.5 + rng.uniform())
+                    })
+                    .collect()
+            })
+            .collect();
+        let full = ProblemInstance {
+            node_slots: vec![2; nodes],
+            options: options.clone(),
+        };
+        let full_sol = solve_greedy_ordered(&full);
+        for k in 0..=options.len() {
+            let prefix = ProblemInstance {
+                node_slots: vec![2; nodes],
+                options: options[..k].to_vec(),
+            };
+            let prefix_sol = solve_greedy_ordered(&prefix);
+            assert_eq!(
+                prefix_sol.allocation.choices,
+                full_sol.allocation.choices[..k],
+                "prefix {k} diverged"
+            );
+        }
+        assert!(is_feasible(&full, &full_sol.allocation));
+    }
+
+    #[test]
+    fn ordered_greedy_can_trail_most_constrained_first() {
+        // Demand 0 has two choices, demand 1 only one: id order lets
+        // demand 0 starve demand 1, which most-constrained-first avoids.
+        let inst = ProblemInstance {
+            node_slots: vec![1, 1],
+            options: vec![vec![opt(&[0], 1.0), opt(&[1], 2.0)], vec![opt(&[0], 1.0)]],
+        };
+        assert_eq!(solve_greedy(&inst).allocation.satisfied_count(), 2);
+        // Id order: demand 0 grabs node 0 (its cheap option), starving
+        // demand 1 — the quality gap E20 measures and bounds.
+        let ordered = solve_greedy_ordered(&inst);
+        assert_eq!(ordered.allocation.satisfied_count(), 1);
+        assert!(is_feasible(&inst, &ordered.allocation));
     }
 
     #[test]

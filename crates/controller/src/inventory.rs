@@ -99,6 +99,16 @@ impl TransponderInventory {
             .collect()
     }
 
+    /// Installed slots per node over `node_count` nodes, heartbeat
+    /// state ignored — the *capacity* vector a sharded controller
+    /// partitions by region (availability is then tracked by its own
+    /// slot accounting rather than per-heartbeat freshness).
+    pub fn total_vector(&self, node_count: usize) -> Vec<usize> {
+        (0..node_count)
+            .map(|n| self.total_at(NodeId(n as u32)))
+            .collect()
+    }
+
     /// Every active (primitive, op_id) across the WAN — what's currently
     /// loaded where.
     pub fn active_ops(&self) -> Vec<(NodeId, Primitive, u16)> {
@@ -168,6 +178,26 @@ mod tests {
         inv.register(NodeId(1), 2, 0);
         inv.register(NodeId(3), 1, 0);
         assert_eq!(inv.availability_vector(4, 0), vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn total_vector_ignores_heartbeat_state() {
+        let mut inv = TransponderInventory::new(100);
+        inv.register(NodeId(1), 2, 0);
+        inv.register(NodeId(3), 1, 0);
+        // Stale and active slots still count toward installed capacity.
+        inv.heartbeat(
+            NodeId(1),
+            0,
+            SlotStatus::Active {
+                primitive: P1,
+                op_id: 1,
+                version: 1,
+            },
+            0,
+        );
+        assert_eq!(inv.total_vector(4), vec![0, 2, 0, 1]);
+        assert_eq!(inv.availability_vector(4, 500), vec![0, 0, 0, 0]);
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub fn enumerate_options_filtered(
         .collect();
     let mut options = Vec::with_capacity(demands.len());
     for demand in demands {
-        options.push(options_for_demand(
+        options.push(options_from_matrix(
             demand,
             &dist,
             &compute_sites,
@@ -102,7 +102,16 @@ pub fn enumerate_options_filtered(
     }
 }
 
-fn options_for_demand(
+/// Enumerate the candidate options for one demand from a precomputed
+/// distance matrix (`dist[u][v]` = delay-shortest u→v distance in ps
+/// over whatever link set the matrix was built from, `None` if
+/// unreachable). This is the kernel [`enumerate_options_filtered`] runs
+/// per demand; the sharded controller calls it directly so each shard
+/// can reuse its cached region-local matrix instead of re-running
+/// Dijkstra over the whole WAN on every request arrival. The returned
+/// list is cost-sorted (stable: ties keep DFS emission order) and
+/// capped at `cap`, so the bytes are a pure function of the inputs.
+pub fn options_from_matrix(
     demand: &Demand,
     dist: &[Vec<Option<u64>>],
     compute_sites: &[NodeId],
@@ -320,6 +329,24 @@ mod tests {
         let demands = vec![p1_demand(0, 0, 2)]; // c is isolated
         let inst = enumerate_options(&topo, &[1, 1, 1], &demands, 10);
         assert!(inst.options[0].is_empty());
+    }
+
+    #[test]
+    fn options_from_matrix_agrees_with_full_enumeration() {
+        // The public kernel must reproduce exactly what the full
+        // enumerator emits when given the same matrix — the sharded
+        // controller's cached-matrix path rides on this equality.
+        let (topo, slots) = fig1();
+        let dag = TaskDag::chain(vec![
+            Primitive::VectorDotProduct,
+            Primitive::NonlinearFunction,
+        ]);
+        let demands = vec![Demand::new(0, NodeId(0), NodeId(3), dag)];
+        let inst = enumerate_options(&topo, &slots, &demands, 3);
+        let dist = distance_matrix(&topo, &|_| true);
+        let sites = vec![NodeId(1), NodeId(2)];
+        let direct = options_from_matrix(&demands[0], &dist, &sites, 3);
+        assert_eq!(inst.options[0], direct);
     }
 
     #[test]

@@ -58,20 +58,45 @@ pub fn build_plan(
     allocation: &Allocation,
 ) -> UpdatePlan {
     assert_eq!(demands.len(), allocation.choices.len(), "shape mismatch");
+    let placements: Vec<Option<&[NodeId]>> = allocation
+        .choices
+        .iter()
+        .enumerate()
+        .map(|(d, choice)| choice.map(|o| instance.options[d][o].placement.as_slice()))
+        .collect();
+    plan_from_placements(demands, &placements)
+}
+
+/// Build the update plan directly from per-demand placement chains —
+/// the sharded controller's path, where the allocation state is the
+/// placement itself rather than an index into a retained
+/// [`ProblemInstance`]. `placements[d]` is demand `d`'s task-site chain
+/// (`None` = unsatisfied); semantics match [`build_plan`] exactly.
+pub fn build_plan_from_placements(
+    demands: &[Demand],
+    placements: &[Option<Vec<NodeId>>],
+) -> UpdatePlan {
+    assert_eq!(demands.len(), placements.len(), "shape mismatch");
+    let refs: Vec<Option<&[NodeId]>> = placements
+        .iter()
+        .map(|p| p.as_ref().map(|v| v.as_slice()))
+        .collect();
+    plan_from_placements(demands, &refs)
+}
+
+fn plan_from_placements(demands: &[Demand], placements: &[Option<&[NodeId]>]) -> UpdatePlan {
     let mut plan = UpdatePlan::default();
-    for (d, choice) in allocation.choices.iter().enumerate() {
-        let demand = &demands[d];
-        let Some(o) = choice else {
+    for (demand, placement) in demands.iter().zip(placements) {
+        let Some(placement) = placement else {
             plan.unsatisfied.push(demand.id.0);
             continue;
         };
-        let option = &instance.options[d][*o];
         let chain = demand
             .dag
             .linearize()
             .expect("satisfied demand must have an acyclic DAG");
-        assert_eq!(chain.len(), option.placement.len(), "placement shape");
-        for (task, (&primitive, &node)) in chain.iter().zip(&option.placement).enumerate() {
+        assert_eq!(chain.len(), placement.len(), "placement shape");
+        for (&primitive, &node) in chain.iter().zip(placement.iter()) {
             plan.installs.push(InstallCmd {
                 node,
                 primitive,
@@ -79,7 +104,6 @@ pub fn build_plan(
             });
             // Route overrides steer toward the task's site from
             // everywhere (scoped to the demand's destination prefix).
-            let _ = task;
             plan.overrides.push(RouteOverrideCmd {
                 router: node, // marker: resolved per-router in apply()
                 dst_prefix: Network::node_prefix(demand.dst),
@@ -242,6 +266,35 @@ mod tests {
         assert_eq!(plan.overrides.len(), 1);
         assert!(plan.unsatisfied.is_empty());
         assert_eq!(plan.installs[0].op_id, 0);
+    }
+
+    #[test]
+    fn plan_from_placements_matches_instance_path() {
+        // The sharded controller hands placements straight to the
+        // planner; the commands must be identical to the option-indexed
+        // path for the same allocation.
+        let topo = Topology::fig1();
+        let slots = vec![0, 1, 1, 0];
+        let demands = vec![
+            Demand::new(0, NodeId(0), NodeId(3), TaskDag::single(P1)),
+            Demand::new(1, NodeId(0), NodeId(1), TaskDag::single(P1)),
+        ];
+        let inst = enumerate_options(&topo, &slots, &demands, 10);
+        let sol = solve_exact(&inst, 1_000_000);
+        let via_instance = build_plan(&demands, &inst, &sol.allocation);
+        let placements: Vec<Option<Vec<NodeId>>> = sol
+            .allocation
+            .choices
+            .iter()
+            .enumerate()
+            .map(|(d, c)| c.map(|o| inst.options[d][o].placement.clone()))
+            .collect();
+        let direct = build_plan_from_placements(&demands, &placements);
+        assert_eq!(via_instance, direct);
+        // And an explicit rejection surfaces in `unsatisfied`.
+        let rejected = build_plan_from_placements(&demands, &vec![None; 2]);
+        assert_eq!(rejected.unsatisfied, vec![0, 1]);
+        assert!(rejected.installs.is_empty());
     }
 
     #[test]

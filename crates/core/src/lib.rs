@@ -23,6 +23,7 @@ pub mod distributed;
 pub mod metrics;
 pub mod protocol;
 pub mod scenario;
+pub mod topo;
 
 use ofpc_controller::demand::Demand;
 use ofpc_controller::greedy::solve_greedy;

@@ -125,6 +125,36 @@ impl FaultPlan {
         self
     }
 
+    /// Link up/down transitions as `(at_ps, link, up)` tuples, time
+    /// order preserved — the topology-level view a controller (rather
+    /// than the packet simulator) consumes: the sharded allocator maps
+    /// these to shard-local re-plans on cut and repair.
+    pub fn link_events(&self) -> Vec<(u64, LinkId, bool)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::FiberCut { link } => Some((e.at_ps, link, false)),
+                FaultKind::LinkRestore { link } => Some((e.at_ps, link, true)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Engine-site up/down transitions as `(at_ps, node, up)` tuples,
+    /// time order preserved — the compute-capacity view: a site going
+    /// down must shed its live allocations (shard-local re-plan), a
+    /// repair returns its slots to the pool.
+    pub fn engine_events(&self) -> Vec<(u64, NodeId, bool)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::EngineFail { node } => Some((e.at_ps, node, false)),
+                FaultKind::EngineRepair { node } => Some((e.at_ps, node, true)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Generate a random plan over `[0, horizon_ps)` from MTBF/MTTR
     /// statistics: every link and every listed compute site runs an
     /// independent fail/repair renewal process with exponential
@@ -212,6 +242,22 @@ mod tests {
             .flap(300, LinkId(0), 50);
         let times: Vec<u64> = plan.events.iter().map(|e| e.at_ps).collect();
         assert_eq!(times, vec![100, 300, 350, 500]);
+    }
+
+    #[test]
+    fn typed_event_views_split_by_kind() {
+        let plan = FaultPlan::new()
+            .flap(300, LinkId(0), 50)
+            .engine_outage(100, NodeId(2), 400)
+            .noise_ramp(NodeId(1), 200, 100, &[0.01]);
+        assert_eq!(
+            plan.link_events(),
+            vec![(300, LinkId(0), false), (350, LinkId(0), true)]
+        );
+        assert_eq!(
+            plan.engine_events(),
+            vec![(100, NodeId(2), false), (500, NodeId(2), true)]
+        );
     }
 
     #[test]

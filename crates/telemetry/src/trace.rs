@@ -39,6 +39,11 @@ pub mod track {
     /// cancellation, parity reconstruction, and protection-fallback
     /// warnings (`tid` = redundancy set id).
     pub const RESIL: u32 = 8;
+    /// Sharded-controller solves: per-shard re-plan spans and boundary
+    /// reconciliation instants (`tid` = shard/region id; timestamps are
+    /// decision sequence numbers, not picoseconds — emitted post-solve
+    /// in shard order, so the trace never depends on worker count).
+    pub const SHARD: u32 = 9;
 }
 
 /// Event phase: duration begin/end or instant.

@@ -50,6 +50,11 @@ fn e18_resilience_matches_golden() {
 }
 
 #[test]
+fn e20_sharded_controller_matches_golden() {
+    check("e20_mini");
+}
+
+#[test]
 fn kernels_differential_matches_golden() {
     check("kernels_mini");
 }
