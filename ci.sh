@@ -81,6 +81,15 @@ run_no_warnings cargo bench --offline -q -p ofpc-bench --bench shard_scaling
 echo "==> E20 sharded-controller smoke run (expt_controller_shard, mini)"
 run_no_warnings env OFPC_E20_MINI=1 cargo run --offline -q -p ofpc-bench --bin expt_controller_shard
 
+echo "==> ingest property suite (tests/ingest.rs)"
+run_no_warnings cargo test --offline --test ingest -q
+
+echo "==> serve scale gate (determinism, >=2x @4w, throughput/core vs BENCH_BASELINE.json)"
+run_no_warnings cargo bench --offline -q -p ofpc-bench --bench serve_scale
+
+echo "==> E21 ingest front-end smoke run (expt_ingest, mini)"
+run_no_warnings env OFPC_E21_MINI=1 cargo run --offline -q -p ofpc-bench --bin expt_ingest
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 

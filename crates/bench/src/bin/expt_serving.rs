@@ -110,6 +110,7 @@ fn run(total_rps: f64, batching: bool) -> ServeReport {
         WDM_CHANNELS,
         config(total_rps, batching),
     )
+    .with_verify_backend(ofpc_engine::dot::KernelBackend::Vectorized)
     .run()
 }
 

@@ -115,7 +115,8 @@ fn run_e12(tel: Option<&Telemetry>) -> ServeReport {
         &ComputeTransponderConfig::realistic(),
         WDM_CHANNELS,
         e12_config(capacity_rps()),
-    );
+    )
+    .with_verify_backend(ofpc_engine::dot::KernelBackend::Vectorized);
     if let Some(tel) = tel {
         rt = rt.with_telemetry(tel);
     }
@@ -178,7 +179,8 @@ fn run_e13_fallback(tel: Option<&Telemetry>) -> ServeReport {
         },
     )
     .with_engine_faults(&outage_schedule())
-    .with_digital_fallback(ComputeModel::cpu());
+    .with_digital_fallback(ComputeModel::cpu())
+    .with_verify_backend(ofpc_engine::dot::KernelBackend::Vectorized);
     if let Some(tel) = tel {
         rt = rt.with_telemetry(tel);
     }

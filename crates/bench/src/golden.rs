@@ -114,13 +114,15 @@ fn e12_scenarios(backend: KernelBackend) -> Vec<SweepScenario> {
 }
 
 /// Mini E12: the serving knee in miniature — 2 batching modes × 3 load
-/// points on the metro deployment.
+/// points on the metro deployment. Verifies on the production
+/// `Vectorized` backend (the fixture pins those bytes); `e13_mini`
+/// stays on `Scalar` so both backends remain exercised in CI.
 pub fn e12_mini(pool: &WorkerPool) -> String {
-    e12_mini_with_backend(pool, KernelBackend::Scalar)
+    e12_mini_with_backend(pool, KernelBackend::Vectorized)
 }
 
 /// [`e12_mini`] with the runtime verification engine on an explicit
-/// kernel backend. `Scalar` reproduces the pinned fixture; `Vectorized`
+/// kernel backend. `Vectorized` reproduces the pinned fixture; `Scalar`
 /// must differ from it only in the verify-error statistics — the
 /// differential golden tests pin both claims.
 pub fn e12_mini_with_backend(pool: &WorkerPool, backend: KernelBackend) -> String {
@@ -172,9 +174,10 @@ struct E14Mini {
 /// Mini E14: one instrumented replay of the mini fault scenario — the
 /// report, the balanced-span count, and the full metrics snapshot.
 /// Runs the scenario twice through the pool (instrumented + bare) and
-/// asserts telemetry perturbed nothing before snapshotting.
+/// asserts telemetry perturbed nothing before snapshotting. Verifies on
+/// the production `Vectorized` backend, like [`e12_mini`].
 pub fn e14_mini(pool: &WorkerPool) -> String {
-    e14_mini_with_backend(pool, KernelBackend::Scalar)
+    e14_mini_with_backend(pool, KernelBackend::Vectorized)
 }
 
 /// [`e14_mini`] with the runtime verification engine on an explicit
@@ -291,6 +294,7 @@ pub fn cases() -> Vec<GoldenCase> {
         ("e17_mini", e17_mini),
         ("e18_mini", e18_mini),
         ("e20_mini", crate::shard::e20_mini),
+        ("e21_mini", crate::ingest::e21_mini),
         ("kernels_mini", kernels_mini),
     ]
 }
@@ -349,6 +353,7 @@ mod tests {
                 "e17_mini",
                 "e18_mini",
                 "e20_mini",
+                "e21_mini",
                 "kernels_mini"
             ]
         );

@@ -1,0 +1,212 @@
+//! E21 harness core: the sharded million-tenant ingest front-end
+//! (ofpc-ingest) driven at population scale.
+//!
+//! The full experiment (`expt_ingest`) fronts **1,000,064 tenants**
+//! offering ≥10⁶ req/s at a deliberately under-provisioned transponder
+//! fleet, and checks that the overload lands where the paper's serving
+//! story says it must: bounded queues shed the abusive heavy-hitter
+//! class while DRR keeps completed goodput per unit weight level across
+//! saturated classes. [`e21_mini`] is the same machinery on a
+//! 5,008-tenant toy, pinned as a golden fixture and replayed across
+//! worker counts by the differential tests. Both share one config
+//! family; the report bytes are a pure function of it on any
+//! `OFPC_WORKERS`.
+
+use ofpc_engine::Primitive;
+use ofpc_ingest::{IngestConfig, IngestFrontEnd, IngestReport, RebalanceConfig, TenantClass};
+use ofpc_net::NodeId;
+use ofpc_par::WorkerPool;
+use ofpc_serve::{BatchPolicy, ServiceModel, SiteSpec};
+
+/// The service model both E21 instances share: a 100 Gbps line with 8
+/// WDM channels per transponder slot. The thermo-optic engine settle
+/// (100 µs per batch) dominates service time, which is what makes the
+/// fleet a scarce resource at millions of offered req/s — and what
+/// makes WDM batching worth it, since a full batch amortizes one settle
+/// over `max_batch` requests.
+fn model() -> ServiceModel {
+    ServiceModel {
+        line_rate_bps: 100e9,
+        wdm_channels: 8,
+        engine_settle_ps: 100_000_000,
+        reconfig_fixed_ps: 2_000_000,
+        reconfig_per_element_ps: 10_000,
+        readout_per_request_ps: 800,
+        laser_w: 0.05,
+        dac_sample_j: 1e-12,
+        mac_j: 1e-14,
+        adc_result_j: 1e-12,
+    }
+}
+
+/// The headline instance: 1,000,064 tenants in three classes —
+/// 64 whales, 50k steady subscribers, 950k long-tail users — offering
+/// ≈1.02M req/s against 8 transponder slots. Deadlines are 1 s, far
+/// past the 100 ms horizon, so every shed is bounded-queue backpressure
+/// rather than deadline expiry: exactly the fairness mechanism under
+/// test.
+pub fn full_config() -> IngestConfig {
+    IngestConfig {
+        seed: 21,
+        shards: 8,
+        classes: vec![
+            TenantClass {
+                name: "whale".into(),
+                population: 64,
+                weight: 8,
+                queue_capacity: 128,
+                mean_rate_rps: 4_000.0,
+                primitive: Primitive::VectorDotProduct,
+                operand_len: 1024,
+                deadline_ps: 1_000_000_000_000,
+            },
+            TenantClass {
+                name: "steady".into(),
+                population: 50_000,
+                weight: 2,
+                queue_capacity: 16,
+                mean_rate_rps: 12.0,
+                primitive: Primitive::PatternMatching,
+                operand_len: 512,
+                deadline_ps: 1_000_000_000_000,
+            },
+            TenantClass {
+                name: "tail".into(),
+                population: 950_000,
+                weight: 1,
+                queue_capacity: 8,
+                mean_rate_rps: 0.17,
+                primitive: Primitive::NonlinearFunction,
+                operand_len: 256,
+                deadline_ps: 1_000_000_000_000,
+            },
+        ],
+        sites: vec![
+            SiteSpec {
+                node: NodeId(1),
+                slots: 5,
+                access_ps: 25_000,
+            },
+            SiteSpec {
+                node: NodeId(2),
+                slots: 3,
+                access_ps: 100_000,
+            },
+        ],
+        model: model(),
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_wait_ps: 50_000_000,
+        },
+        epoch_ps: 20_000_000_000,
+        epochs: 5,
+        rebalance: RebalanceConfig {
+            every_epochs: 1,
+            max_migrations: 16,
+        },
+        corrupt_every: 997,
+        drain_quantum: 256,
+    }
+}
+
+/// The golden-fixture miniature: 5,008 tenants over 4 shards and 5
+/// slots, 6 ms horizon, same class shape (whale / steady / tail) so the
+/// fixture pins the identical code paths — overload shedding, typed
+/// frame rejections, and two rebalance passes.
+pub fn mini_config() -> IngestConfig {
+    IngestConfig {
+        seed: 21,
+        shards: 4,
+        classes: vec![
+            TenantClass {
+                name: "whale".into(),
+                population: 8,
+                weight: 8,
+                queue_capacity: 64,
+                mean_rate_rps: 50_000.0,
+                primitive: Primitive::VectorDotProduct,
+                operand_len: 256,
+                deadline_ps: 20_000_000_000,
+            },
+            TenantClass {
+                name: "steady".into(),
+                population: 1_000,
+                weight: 2,
+                queue_capacity: 16,
+                mean_rate_rps: 150.0,
+                primitive: Primitive::PatternMatching,
+                operand_len: 128,
+                deadline_ps: 20_000_000_000,
+            },
+            TenantClass {
+                name: "tail".into(),
+                population: 4_000,
+                weight: 1,
+                queue_capacity: 8,
+                mean_rate_rps: 25.0,
+                primitive: Primitive::NonlinearFunction,
+                operand_len: 64,
+                deadline_ps: 20_000_000_000,
+            },
+        ],
+        sites: vec![
+            SiteSpec {
+                node: NodeId(1),
+                slots: 3,
+                access_ps: 25_000,
+            },
+            SiteSpec {
+                node: NodeId(2),
+                slots: 2,
+                access_ps: 100_000,
+            },
+        ],
+        model: model(),
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_wait_ps: 50_000_000,
+        },
+        epoch_ps: 2_000_000_000,
+        epochs: 3,
+        rebalance: RebalanceConfig {
+            every_epochs: 1,
+            max_migrations: 8,
+        },
+        corrupt_every: 53,
+        drain_quantum: 64,
+    }
+}
+
+/// Run an E21 instance. The report is a deterministic function of the
+/// config; `pool` only changes how fast it arrives.
+pub fn run_e21(config: IngestConfig, pool: &WorkerPool) -> IngestReport {
+    IngestFrontEnd::new(config).run(pool)
+}
+
+/// Mini E21: the golden-fixture miniature (see [`mini_config`]).
+pub fn e21_mini(pool: &WorkerPool) -> String {
+    let report = run_e21(mini_config(), pool);
+    crate::table::versioned_pretty(&report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_run_sheds_rejects_and_rebalances() {
+        let pool = WorkerPool::sequential();
+        let report = run_e21(mini_config(), &pool);
+        assert_eq!(report.tenants, 5_008);
+        assert!(report.parsed > 1_000, "mini should see real traffic");
+        assert!(report.completed > 0);
+        assert!(report.shed > 0, "mini must be overloaded enough to shed");
+        assert!(
+            report.frames.rejected_total > 0,
+            "corrupt_every must exercise the typed-error path"
+        );
+        assert_eq!(report.rebalance.passes, 2);
+        let again = e21_mini(&pool);
+        assert_eq!(e21_mini(&pool), again);
+    }
+}

@@ -6,6 +6,7 @@
 //! driver.
 
 pub mod golden;
+pub mod ingest;
 pub mod resil;
 pub mod shard;
 pub mod table;

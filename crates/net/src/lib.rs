@@ -16,6 +16,7 @@
 pub mod addr;
 pub mod events;
 pub mod flow;
+pub mod frame;
 pub mod packet;
 pub mod pch;
 pub mod queue;
@@ -25,6 +26,7 @@ pub mod stats;
 pub mod topology;
 
 pub use addr::{Addr, Prefix};
+pub use frame::{FrameError, PchFrame};
 pub use packet::Packet;
 pub use pch::PchHeader;
 pub use sim::Network;

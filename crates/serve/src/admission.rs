@@ -17,7 +17,8 @@
 
 use crate::request::{ComputeRequest, ShedReason, TenantId};
 use ofpc_resil::RedundancyMode;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Bound;
 
 /// Per-tenant admission state.
 #[derive(Debug)]
@@ -45,6 +46,39 @@ pub struct AdmissionControl {
 /// DRR quantum granted per weight unit each round (scaled credits; 1000
 /// credits = one request).
 const CREDITS_PER_WEIGHT: u64 = 1000;
+
+/// One DRR visit to a backlogged tenant: grant this round's credit,
+/// then pop requests while credit and budget last, shedding the ones
+/// already past deadline. Returns `true` when anything was popped.
+///
+/// This is the fairness core shared by the dense [`AdmissionControl`]
+/// (one slot per configured tenant, the serving runtime) and the sparse
+/// [`SparseAdmission`] (active tenants only, the million-tenant ingest
+/// shards) — both drains owe their weighted-share guarantee to exactly
+/// this step.
+fn drr_visit(
+    queue: &mut VecDeque<ComputeRequest>,
+    deficit: &mut u64,
+    weight: u32,
+    max_out: usize,
+    now_ps: u64,
+    out: &mut Vec<ComputeRequest>,
+    shed: &mut Vec<(ComputeRequest, ShedReason)>,
+) -> bool {
+    *deficit += u64::from(weight) * CREDITS_PER_WEIGHT;
+    let mut progressed = false;
+    while *deficit >= CREDITS_PER_WEIGHT && !queue.is_empty() && out.len() < max_out {
+        let req = queue.pop_front().expect("non-empty");
+        *deficit -= CREDITS_PER_WEIGHT;
+        if req.expired(now_ps) {
+            shed.push((req, ShedReason::DeadlineExpiredQueued));
+        } else {
+            out.push(req);
+        }
+        progressed = true;
+    }
+    progressed
+}
 
 impl AdmissionControl {
     /// Build with one `(capacity, weight)` pair per tenant. Weights are
@@ -149,17 +183,15 @@ impl AdmissionControl {
                     t.deficit = 0;
                     continue;
                 }
-                t.deficit += u64::from(t.weight) * CREDITS_PER_WEIGHT;
-                while t.deficit >= CREDITS_PER_WEIGHT && !t.queue.is_empty() && out.len() < max {
-                    let req = t.queue.pop_front().expect("non-empty");
-                    t.deficit -= CREDITS_PER_WEIGHT;
-                    if req.expired(now_ps) {
-                        self.shed.push((req, ShedReason::DeadlineExpiredQueued));
-                    } else {
-                        out.push(req);
-                    }
-                    progressed = true;
-                }
+                progressed |= drr_visit(
+                    &mut t.queue,
+                    &mut t.deficit,
+                    t.weight,
+                    max,
+                    now_ps,
+                    &mut out,
+                    &mut self.shed,
+                );
                 if out.len() >= max {
                     // Resume after this tenant next time.
                     self.cursor = (i + 1) % n;
@@ -177,6 +209,213 @@ impl AdmissionControl {
     /// metrics layer).
     pub fn take_shed(&mut self) -> Vec<(ComputeRequest, ShedReason)> {
         std::mem::take(&mut self.shed)
+    }
+}
+
+/// Admission-time shape of one tenant: queue bound and fair-share
+/// weight. Sparse admission takes the shape *per offer* (derived from
+/// the tenant's class) instead of storing it per tenant, so an idle
+/// tenant costs zero bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantShape {
+    pub capacity: usize,
+    pub weight: u32,
+}
+
+/// Per-tenant state while (and only while) the tenant is backlogged.
+#[derive(Debug)]
+struct SparseQueue {
+    queue: VecDeque<ComputeRequest>,
+    deficit: u64,
+    shape: TenantShape,
+}
+
+/// Sparse admission control for tenant populations far larger than the
+/// backlog: the million-tenant shard-local variant of
+/// [`AdmissionControl`].
+///
+/// Only *backlogged* tenants hold state — a tenant's queue entry is
+/// created on its first queued request and evicted the moment its queue
+/// drains, so memory is bounded by the instantaneous backlog, never by
+/// the tenant universe. Eviction also drops the DRR deficit: an idle
+/// tenant banks no credit (the dense controller resets idle deficits on
+/// its next scan; the sparse one applies the same policy eagerly at
+/// eviction, which is what makes the eviction lossless).
+///
+/// Fairness comes from the same `drr_visit` core as the dense
+/// controller; the round-robin cursor is a tenant *id* rather than a
+/// vector index, so it survives eviction and migration. Tenants can be
+/// removed wholesale ([`SparseAdmission::remove_tenant`]) and adopted
+/// with their queued work ([`SparseAdmission::adopt`]) — the
+/// message-passing shard rebalance moves tenant state through exactly
+/// that pair.
+#[derive(Debug, Default)]
+pub struct SparseAdmission {
+    active: BTreeMap<TenantId, SparseQueue>,
+    /// Drains resume strictly after this tenant id.
+    cursor: Option<TenantId>,
+    shed: Vec<(ComputeRequest, ShedReason)>,
+    queued: usize,
+}
+
+impl SparseAdmission {
+    pub fn new() -> Self {
+        SparseAdmission::default()
+    }
+
+    /// Admit or shed an arriving request under `shape`. Returns `true`
+    /// when admitted. The shape travels with the offer (it is a function
+    /// of the tenant's class); a backlogged tenant's shape follows the
+    /// latest offer.
+    pub fn offer(&mut self, req: ComputeRequest, shape: TenantShape) -> bool {
+        assert!(shape.capacity > 0, "tenant queue capacity must be positive");
+        assert!(shape.weight > 0, "tenant weight must be positive");
+        let t = self
+            .active
+            .entry(req.tenant)
+            .or_insert_with(|| SparseQueue {
+                queue: VecDeque::new(),
+                deficit: 0,
+                shape,
+            });
+        t.shape = shape;
+        if t.queue.len() >= shape.capacity {
+            self.shed.push((req, ShedReason::QueueFull));
+            false
+        } else {
+            t.queue.push_back(req);
+            self.queued += 1;
+            true
+        }
+    }
+
+    /// Total queued requests across all backlogged tenants.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Queue depth of one tenant (0 when idle/evicted).
+    pub fn queued_for(&self, tenant: TenantId) -> usize {
+        self.active.get(&tenant).map_or(0, |t| t.queue.len())
+    }
+
+    /// Tenants currently holding state — the memory bound.
+    pub fn active_tenants(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Backlogged tenants by queue depth, deepest first (ties by id) —
+    /// the rebalancer's hot-tenant candidates.
+    pub fn hottest(&self, limit: usize) -> Vec<(TenantId, usize)> {
+        let mut v: Vec<(TenantId, usize)> = self
+            .active
+            .iter()
+            .map(|(&t, q)| (t, q.queue.len()))
+            .collect();
+        v.sort_by_key(|&(t, depth)| (std::cmp::Reverse(depth), t));
+        v.truncate(limit);
+        v
+    }
+
+    /// Drop queued requests whose deadline has passed, shedding them
+    /// explicitly, and evict tenants drained empty by the sweep.
+    pub fn expire_stale(&mut self, now_ps: u64) -> usize {
+        let mut n = 0;
+        for t in self.active.values_mut() {
+            while let Some(front) = t.queue.front() {
+                if front.expired(now_ps) {
+                    let req = t.queue.pop_front().expect("front exists");
+                    self.shed.push((req, ShedReason::DeadlineExpiredQueued));
+                    self.queued -= 1;
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.active.retain(|_, t| !t.queue.is_empty());
+        n
+    }
+
+    /// Weighted-fair drain of up to `max` requests (deficit round
+    /// robin over the backlogged tenants, resuming after the cursor).
+    pub fn drain_fair(&mut self, max: usize, now_ps: u64) -> Vec<ComputeRequest> {
+        let mut out = Vec::new();
+        if max == 0 || self.queued == 0 {
+            return out;
+        }
+        'rounds: while out.len() < max && self.queued > 0 {
+            // Cyclic visit order: ids after the cursor, then wrap.
+            let mut order: Vec<TenantId> = match self.cursor {
+                Some(c) => self
+                    .active
+                    .range((Bound::Excluded(c), Bound::Unbounded))
+                    .map(|(&t, _)| t)
+                    .chain(
+                        self.active
+                            .range((Bound::Unbounded, Bound::Included(c)))
+                            .map(|(&t, _)| t),
+                    )
+                    .collect(),
+                None => self.active.keys().copied().collect(),
+            };
+            let mut progressed = false;
+            for tenant in order.drain(..) {
+                let Some(t) = self.active.get_mut(&tenant) else {
+                    continue;
+                };
+                let before = out.len() + self.shed.len();
+                progressed |= drr_visit(
+                    &mut t.queue,
+                    &mut t.deficit,
+                    t.shape.weight,
+                    max,
+                    now_ps,
+                    &mut out,
+                    &mut self.shed,
+                );
+                self.queued -= out.len() + self.shed.len() - before;
+                if t.queue.is_empty() {
+                    // Idle tenants bank no credit; drop the state.
+                    self.active.remove(&tenant);
+                }
+                if out.len() >= max {
+                    self.cursor = Some(tenant);
+                    break 'rounds;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Take the accumulated shed records.
+    pub fn take_shed(&mut self) -> Vec<(ComputeRequest, ShedReason)> {
+        std::mem::take(&mut self.shed)
+    }
+
+    /// Remove a tenant and return its queued requests in FIFO order
+    /// (the outbound half of a migration; the deficit is dropped, as at
+    /// any other eviction).
+    pub fn remove_tenant(&mut self, tenant: TenantId) -> Vec<ComputeRequest> {
+        match self.active.remove(&tenant) {
+            Some(t) => {
+                self.queued -= t.queue.len();
+                t.queue.into()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Adopt a migrated tenant's queued requests, preserving their
+    /// order and re-applying the queue bound (overflow sheds here, on
+    /// the receiving shard, so conservation holds across the move).
+    pub fn adopt(&mut self, requests: Vec<ComputeRequest>, shape: TenantShape) {
+        for req in requests {
+            self.offer(req, shape);
+        }
     }
 }
 
@@ -278,6 +517,109 @@ mod tests {
         ac.set_policy(TenantId(1), RedundancyMode::Replica);
         assert_eq!(ac.policy_of(TenantId(0)), RedundancyMode::Unprotected);
         assert_eq!(ac.policy_of(TenantId(1)), RedundancyMode::Replica);
+    }
+
+    fn shape(capacity: usize, weight: u32) -> TenantShape {
+        TenantShape { capacity, weight }
+    }
+
+    #[test]
+    fn sparse_state_is_bounded_by_backlog_not_population() {
+        let mut ac = SparseAdmission::new();
+        // A million-tenant universe where only three tenants ever queue.
+        for (i, t) in [7u32, 500_000, 999_999].iter().enumerate() {
+            ac.offer(req(i as u64, *t, u64::MAX), shape(8, 1));
+        }
+        assert_eq!(ac.active_tenants(), 3);
+        assert_eq!(ac.queued(), 3);
+        let drained = ac.drain_fair(10, 0);
+        assert_eq!(drained.len(), 3);
+        // Drained dry → evicted: zero retained state.
+        assert_eq!(ac.active_tenants(), 0);
+        assert_eq!(ac.queued_for(TenantId(500_000)), 0);
+    }
+
+    #[test]
+    fn sparse_drain_respects_weights_under_backlog() {
+        let mut ac = SparseAdmission::new();
+        for i in 0..100 {
+            ac.offer(req(i, 11, u64::MAX), shape(100, 3));
+            ac.offer(req(100 + i, 903_214, u64::MAX), shape(100, 1));
+        }
+        let drained = ac.drain_fair(40, 0);
+        assert_eq!(drained.len(), 40);
+        let t0 = drained.iter().filter(|r| r.tenant == TenantId(11)).count();
+        assert!((28..=32).contains(&t0), "t0 got {t0}");
+    }
+
+    #[test]
+    fn sparse_matches_dense_drain_on_a_dense_universe() {
+        // On a fully-backlogged dense tenant set the two controllers
+        // must drain the same multiset per tenant — the shared DRR core
+        // is the guarantee, this pins it.
+        let weights = [(50usize, 3u32), (50, 1), (50, 2)];
+        let mut dense = AdmissionControl::new(&weights);
+        let mut sparse = SparseAdmission::new();
+        let mut id = 0;
+        for round in 0..30 {
+            for (t, &(cap, w)) in weights.iter().enumerate() {
+                let r = req(id, t as u32, u64::MAX);
+                dense.offer(r.clone());
+                sparse.offer(r, shape(cap, w));
+                id += 1;
+                let _ = round;
+            }
+        }
+        let d = dense.drain_fair(60, 0);
+        let s = sparse.drain_fair(60, 0);
+        for t in 0..weights.len() as u32 {
+            let dc = d.iter().filter(|r| r.tenant == TenantId(t)).count();
+            let sc = s.iter().filter(|r| r.tenant == TenantId(t)).count();
+            assert_eq!(dc, sc, "tenant {t} share diverged");
+        }
+    }
+
+    #[test]
+    fn sparse_full_queue_sheds_and_expiry_evicts() {
+        let mut ac = SparseAdmission::new();
+        assert!(ac.offer(req(1, 0, 100), shape(1, 1)));
+        assert!(!ac.offer(req(2, 0, 100), shape(1, 1)));
+        assert_eq!(ac.take_shed().len(), 1);
+        assert_eq!(ac.expire_stale(200), 1);
+        assert_eq!(ac.active_tenants(), 0, "expired tenant evicted");
+        assert_eq!(ac.take_shed()[0].1, ShedReason::DeadlineExpiredQueued);
+    }
+
+    #[test]
+    fn sparse_migration_conserves_requests() {
+        let mut src = SparseAdmission::new();
+        let mut dst = SparseAdmission::new();
+        for i in 0..6 {
+            src.offer(req(i, 42, u64::MAX), shape(8, 2));
+        }
+        let moved = src.remove_tenant(TenantId(42));
+        assert_eq!(moved.len(), 6);
+        assert_eq!(src.queued(), 0);
+        // Destination re-applies a tighter bound: overflow sheds there.
+        dst.adopt(moved, shape(4, 2));
+        assert_eq!(dst.queued_for(TenantId(42)), 4);
+        assert_eq!(dst.take_shed().len(), 2);
+        let drained = dst.drain_fair(10, 0);
+        assert_eq!(drained[0].id, RequestId(0), "FIFO order preserved");
+    }
+
+    #[test]
+    fn sparse_hottest_ranks_by_depth_then_id() {
+        let mut ac = SparseAdmission::new();
+        for i in 0..5 {
+            ac.offer(req(i, 1, u64::MAX), shape(8, 1));
+        }
+        for i in 5..8 {
+            ac.offer(req(i, 2, u64::MAX), shape(8, 1));
+        }
+        ac.offer(req(8, 3, u64::MAX), shape(8, 1));
+        let hot = ac.hottest(2);
+        assert_eq!(hot, vec![(TenantId(1), 5), (TenantId(2), 3)]);
     }
 
     #[test]

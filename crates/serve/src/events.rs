@@ -1,0 +1,99 @@
+//! The deterministic event queue every serving event loop runs on.
+//!
+//! Extracted from [`crate::runtime::ServeRuntime`] so shard-local event
+//! loops (the `ofpc-ingest` front-end) replay with exactly the same
+//! ordering contract: events pop in ascending `(time, insertion
+//! sequence)` order, so same-tick events resolve in the order they were
+//! scheduled — a pure function of the schedule, never of the host.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of simulation events with deterministic
+/// same-tick tie-breaking by insertion order.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, E)>>,
+    seq: u64,
+}
+
+impl<E: Ord> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `ev` at `t_ps`. Events at equal times pop in push order.
+    pub fn push(&mut self, t_ps: u64, ev: E) {
+        self.seq += 1;
+        self.heap.push(Reverse((t_ps, self.seq, ev)));
+    }
+
+    /// Pop the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((t, _, ev))| (t, ev))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E: Ord> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_tick_events_pop_in_push_order() {
+        // The payloads sort the *other* way round ("z" > "a"), so only
+        // the insertion sequence can explain the observed order.
+        let mut q = EventQueue::new();
+        q.push(5, "z");
+        q.push(5, "a");
+        q.push(5, "m");
+        assert_eq!(q.pop(), Some((5, "z")));
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((5, "m")));
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q: EventQueue<u32> = EventQueue::default();
+        assert!(q.is_empty());
+        q.push(1, 1);
+        q.push(2, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

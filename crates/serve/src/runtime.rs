@@ -36,8 +36,9 @@ use ofpc_resil::{
 use ofpc_telemetry::{track, Counter, Telemetry};
 use ofpc_transponder::compute::ComputeTransponderConfig;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::events::EventQueue;
 
 /// One tenant's serving contract.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -222,8 +223,7 @@ pub struct ServeRuntime {
     scheduler: Scheduler,
     metrics: MetricsSink,
     arrivals: Vec<ArrivalProcess>,
-    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
-    seq: u64,
+    events: EventQueue<Event>,
     next_request_id: u64,
     now_ps: u64,
     /// Real photonic engine for sampled cross-checks.
@@ -302,8 +302,7 @@ impl ServeRuntime {
             scheduler: Scheduler::new(model, sites),
             metrics: MetricsSink::new(tenant_count),
             arrivals,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventQueue::new(),
             next_request_id: 0,
             now_ps: 0,
             verify_unit,
@@ -485,8 +484,7 @@ impl ServeRuntime {
     }
 
     fn push_event(&mut self, t_ps: u64, ev: Event) {
-        self.seq += 1;
-        self.events.push(Reverse((t_ps, self.seq, ev)));
+        self.events.push(t_ps, ev);
     }
 
     fn schedule_next_arrival(&mut self, tenant: u32) {
@@ -1310,7 +1308,7 @@ impl ServeRuntime {
     /// layer's summary (all-zero when no redundancy was configured).
     pub fn run_with_resil(mut self) -> (ServeReport, ResilSummary) {
         let end_ps = self.config.horizon_ps + self.config.drain_grace_ps;
-        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+        while let Some((t, ev)) = self.events.pop() {
             self.ev_count.inc();
             if t > end_ps {
                 // Past the drain window no new work starts, but results

@@ -484,10 +484,61 @@ impl Scheduler {
         out
     }
 
-    /// Mark a slot idle again (called at its `done_ps` event).
+    /// Mark a slot idle again (called at its `done_ps` event). A slot
+    /// retired by [`Scheduler::resize_site`] while its last batch was
+    /// in flight releases as a no-op: the work completed, the capacity
+    /// is simply no longer this scheduler's to reuse.
     pub fn release(&mut self, node: NodeId, slot: usize, now_ps: u64) {
+        if !self.slots.contains_key(&(node, slot)) {
+            return;
+        }
         self.inventory
             .heartbeat(node, slot, SlotStatus::Idle, now_ps);
+    }
+
+    /// Re-split seam: set the number of slots this scheduler owns at
+    /// `node`, returning how many slots moved. Growth adds fresh idle,
+    /// unloaded slots (and registers them with the inventory mirror);
+    /// shrink retires the highest-indexed slots immediately — a batch
+    /// in flight on a retired slot still completes (its delivery event
+    /// is the runtime's, not the slot's) and its release is ignored.
+    ///
+    /// This is what lets a global rebalancer repartition one physical
+    /// site's transponders between shard-local schedulers without
+    /// touching in-flight work. Shrinking to zero is allowed: the site
+    /// stays known (access delay and all) but dispatches nothing until
+    /// slots are granted back. Inventory records of retired slots
+    /// remain registered (the mirror is observational and append-only);
+    /// they idle out rather than vanish.
+    pub fn resize_site(&mut self, node: NodeId, slots: usize, now_ps: u64) -> usize {
+        let site = self
+            .sites
+            .iter_mut()
+            .find(|s| s.node == node)
+            .expect("resize of unknown site");
+        let old = site.slots;
+        site.slots = slots;
+        if slots > old {
+            let registered = self.inventory.total_at(node);
+            if slots > registered {
+                self.inventory.register(node, slots - registered, now_ps);
+            }
+            for s in old..slots {
+                self.slots.insert(
+                    (node, s),
+                    SlotState {
+                        busy_until_ps: 0,
+                        loaded: None,
+                        healthy: true,
+                    },
+                );
+            }
+        } else {
+            for s in slots..old {
+                self.slots.remove(&(node, s));
+            }
+        }
+        old.abs_diff(slots)
     }
 
     /// Next time any busy slot frees, if any (for idle-time stepping).
@@ -770,6 +821,34 @@ mod tests {
         assert!(d[0].shed.is_empty());
         assert_eq!(d[0].batch.len(), 1);
         assert!(d[0].service_ps > 0);
+    }
+
+    #[test]
+    fn resize_site_grows_and_retires_without_breaking_flight() {
+        let mut s = Scheduler::new(model(), one_site());
+        assert_eq!(s.resize_site(NodeId(1), 3, 0), 2);
+        assert_eq!(s.total_slots(), 3);
+        assert_eq!(s.idle_slots(0), 3);
+        // Occupy slot 0, then retire everything down to one slot while
+        // the batch is in flight.
+        s.enqueue(batch(&[1], u64::MAX, 0));
+        let d = s.try_dispatch(0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(s.resize_site(NodeId(1), 1, 1), 2);
+        assert_eq!(s.total_slots(), 1);
+        // Releasing a retired slot is a tolerated no-op; the surviving
+        // slot keeps working.
+        s.release(NodeId(1), 2, d[0].done_ps);
+        s.release(NodeId(1), 0, d[0].done_ps);
+        s.enqueue(batch(&[2], u64::MAX, 2));
+        let d2 = s.try_dispatch(d[0].done_ps);
+        assert_eq!(d2.len(), 1);
+        // Shrink to zero parks the site without forgetting it.
+        assert_eq!(s.resize_site(NodeId(1), 0, 2), 1);
+        s.enqueue(batch(&[3], u64::MAX, 3));
+        assert!(s.try_dispatch(d2[0].done_ps).is_empty());
+        assert_eq!(s.resize_site(NodeId(1), 1, 3), 1);
+        assert_eq!(s.try_dispatch(d2[0].done_ps).len(), 1);
     }
 
     #[test]

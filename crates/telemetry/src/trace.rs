@@ -44,6 +44,11 @@ pub mod track {
     /// decision sequence numbers, not picoseconds — emitted post-solve
     /// in shard order, so the trace never depends on worker count).
     pub const SHARD: u32 = 9;
+    /// Ingest front-end: per-shard epoch spans and rebalance instants
+    /// (`tid` = ingest shard id; ps timestamps, emitted by the
+    /// sequential driver after each epoch gather in shard order, so the
+    /// trace never depends on worker count).
+    pub const INGEST: u32 = 10;
 }
 
 /// Event phase: duration begin/end or instant.

@@ -55,6 +55,11 @@ fn e20_sharded_controller_matches_golden() {
 }
 
 #[test]
+fn e21_ingest_front_end_matches_golden() {
+    check("e21_mini");
+}
+
+#[test]
 fn kernels_differential_matches_golden() {
     check("kernels_mini");
 }
@@ -91,15 +96,15 @@ fn vectorized_verify_replays_e12_byte_identically_across_worker_counts() {
 }
 
 #[test]
-fn vectorized_verify_differs_from_fixture_only_in_verify_stats() {
+fn scalar_verify_differs_from_fixture_only_in_verify_stats() {
     // Swapping the verification backend must not perturb the simulation
-    // itself: against the pinned scalar fixture, the only lines allowed
-    // to change are the verify-error statistics. (E17/E18 carry no
-    // verify unit, so the claim is scoped to the serving minis.)
+    // itself: against the pinned vectorized fixture, the only lines
+    // allowed to change under a scalar-verify replay are the
+    // verify-error statistics. (E17/E18 carry no verify unit, so the
+    // claim is scoped to the serving minis.)
     use ofpc_engine::dot::KernelBackend;
     let fixture = std::fs::read_to_string("results/golden/e12_mini.json").expect("fixture");
-    let current =
-        golden::e12_mini_with_backend(&WorkerPool::sequential(), KernelBackend::Vectorized);
+    let current = golden::e12_mini_with_backend(&WorkerPool::sequential(), KernelBackend::Scalar);
     let g: Vec<&str> = fixture.lines().collect();
     let c: Vec<&str> = current.lines().collect();
     assert_eq!(g.len(), c.len(), "line counts diverged");
@@ -116,8 +121,20 @@ fn vectorized_verify_differs_from_fixture_only_in_verify_stats() {
     }
     assert!(
         changed > 0,
-        "vectorized verify produced identical bytes — backend not applied"
+        "scalar verify produced identical bytes — backend not applied"
     );
+}
+
+#[test]
+fn e21_replay_is_byte_identical_across_worker_counts() {
+    // Each epoch fans the shards out over the pool and the rebalance
+    // barrier runs sequentially in between; the report must not depend
+    // on how many workers carried the shards.
+    let narrow = ofpc_bench::ingest::e21_mini(&WorkerPool::new(1));
+    let two = ofpc_bench::ingest::e21_mini(&WorkerPool::new(2));
+    let wide = ofpc_bench::ingest::e21_mini(&WorkerPool::new(8));
+    assert_eq!(narrow, two, "1-worker vs 2-worker E21 bytes diverged");
+    assert_eq!(narrow, wide, "1-worker vs 8-worker E21 bytes diverged");
 }
 
 #[test]

@@ -1,0 +1,187 @@
+//! Ingest front-end property suite: hostile frames are typed errors
+//! (never panics), the zero-copy frame view round-trips bit-identically
+//! with the owned packet parser, fairness survives rebalance
+//! boundaries, and per-tenant state stays bounded by backlog rather
+//! than population.
+
+use bytes::Bytes;
+use ofpc_bench::ingest::mini_config;
+use ofpc_engine::Primitive;
+use ofpc_ingest::IngestFrontEnd;
+use ofpc_net::{Addr, FrameError, Packet, PchFrame, PchHeader};
+use ofpc_par::WorkerPool;
+use ofpc_photonics::SimRng;
+
+const PRIMS: [Primitive; 3] = [
+    Primitive::VectorDotProduct,
+    Primitive::PatternMatching,
+    Primitive::NonlinearFunction,
+];
+
+/// A random well-formed compute frame: payload holds at least the
+/// declared operand elements, possibly with trailing padding.
+fn random_frame(rng: &mut SimRng) -> Bytes {
+    let operand_len = rng.below(300) as u16;
+    let padding = rng.below(16);
+    let payload: Vec<u8> = (0..operand_len as usize + padding)
+        .map(|_| rng.below(256) as u8)
+        .collect();
+    let pch = PchHeader::request(PRIMS[rng.below(3)], rng.below(65_536) as u16, operand_len);
+    Packet::compute(
+        Addr(rng.next_u64() as u32),
+        Addr(rng.next_u64() as u32),
+        rng.next_u64() as u32,
+        pch,
+        payload,
+    )
+    .to_wire()
+}
+
+#[test]
+fn corrupted_frames_return_typed_errors_and_never_panic() {
+    let mut rng = SimRng::seed_from_u64(0x21F);
+    let mut seen_truncated = 0u32;
+    let mut seen_bad_proto = 0u32;
+    let mut seen_bad_primitive = 0u32;
+    let mut seen_overrun = 0u32;
+    let mut seen_not_compute = 0u32;
+    for _ in 0..2_000 {
+        let wire = random_frame(&mut rng);
+        let mut raw = wire.to_vec();
+        // One of five corruption families, chosen at random. Parsing
+        // must return a value either way — any panic fails the test.
+        match rng.below(5) {
+            0 => raw.truncate(rng.below(raw.len() + 1)),
+            1 => raw[15] = rng.below(256) as u8, // protocol byte
+            2 => raw[16] = rng.below(256) as u8, // PCH primitive id
+            3 => {
+                // Operand-count claim beyond the payload.
+                let claim = (raw.len() as u16).saturating_add(rng.below(500) as u16);
+                raw[22..24].copy_from_slice(&claim.to_be_bytes());
+            }
+            _ => {
+                // A single random byte flip anywhere in the frame.
+                let at = rng.below(raw.len());
+                raw[at] ^= 1 << rng.below(8);
+            }
+        }
+        match PchFrame::parse(Bytes::from(raw)) {
+            Ok(frame) => {
+                // Still-valid frames must still serve every accessor.
+                let _ = (frame.src(), frame.dst(), frame.id(), frame.payload());
+            }
+            Err(FrameError::Truncated { need, have }) => {
+                assert!(need > have, "Truncated must name the shortfall");
+                seen_truncated += 1;
+            }
+            Err(FrameError::BadProto(_)) => seen_bad_proto += 1,
+            Err(FrameError::NotCompute) => seen_not_compute += 1,
+            Err(FrameError::BadPrimitive(_)) => seen_bad_primitive += 1,
+            Err(FrameError::OperandOverrun {
+                operand_len,
+                payload_len,
+            }) => {
+                assert!(operand_len > payload_len);
+                seen_overrun += 1;
+            }
+        }
+    }
+    // The seeded sweep must actually reach the main rejection families.
+    assert!(seen_truncated > 50, "truncations under-sampled");
+    assert!(seen_bad_proto > 50, "bad protocols under-sampled");
+    assert!(seen_bad_primitive > 50, "bad primitives under-sampled");
+    assert!(seen_overrun > 50, "operand overruns under-sampled");
+    let _ = seen_not_compute; // possible (proto byte landing on DATA) but not guaranteed
+}
+
+#[test]
+fn zero_copy_view_round_trips_with_owned_parser() {
+    let mut rng = SimRng::seed_from_u64(0x21E);
+    for _ in 0..500 {
+        let wire = random_frame(&mut rng);
+        let base = wire.as_ptr() as usize;
+        let owned = Packet::from_wire(wire.clone()).expect("owned parse");
+        let view = PchFrame::parse(wire).expect("view parse");
+        assert_eq!(view.src(), owned.src);
+        assert_eq!(view.dst(), owned.dst);
+        assert_eq!(view.id(), owned.id);
+        assert_eq!(view.ttl(), owned.ttl);
+        assert_eq!(view.header(), owned.pch.expect("compute frame"));
+        assert_eq!(view.payload(), owned.payload, "payload bytes diverged");
+        assert_eq!(view.wire_bytes(), owned.wire_bytes());
+        // The view's payload is a slice of the original allocation —
+        // zero bytes copied on the ingest hot path.
+        let payload = view.payload();
+        if !payload.is_empty() {
+            let off = payload.as_ptr() as usize - base;
+            assert!(off >= 24, "payload escaped the frame buffer");
+        }
+    }
+}
+
+#[test]
+fn fairness_holds_across_rebalance_boundaries() {
+    let pool = WorkerPool::sequential();
+    let with = IngestFrontEnd::new(mini_config()).run(&pool);
+    let mut frozen_cfg = mini_config();
+    frozen_cfg.rebalance.every_epochs = 0;
+    let frozen = IngestFrontEnd::new(frozen_cfg).run(&pool);
+
+    assert!(with.rebalance.migrations > 0, "rebalance never engaged");
+    assert_eq!(frozen.rebalance.migrations, 0);
+
+    for report in [&with, &frozen] {
+        // Both runs (report() already asserted conservation) must keep
+        // the overload on the class that overdrives its queues: every
+        // shed is a whale bounded-queue rejection, the 5,000 small
+        // tenants shed nothing — migrating hot tenants and re-splitting
+        // slots mid-run must not change who pays for the overload.
+        let class = |name: &str| {
+            report
+                .classes
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing class {name}"))
+        };
+        let whale = class("whale");
+        assert!(report.shed > 0, "mini must be overloaded");
+        assert_eq!(whale.shed_queue_full, report.shed);
+        assert_eq!(class("steady").shed_queue_full, 0);
+        assert_eq!(class("tail").shed_queue_full, 0);
+        assert!(
+            whale.goodput_per_weight >= class("steady").goodput_per_weight,
+            "whales must keep at least their weight share"
+        );
+    }
+
+    // Migrated tenants carry their queued work: total slots conserved
+    // and goodput within 20% of the frozen-shards run.
+    let slots: usize = with.shard_reports.iter().map(|s| s.slots).sum();
+    let frozen_slots: usize = frozen.shard_reports.iter().map(|s| s.slots).sum();
+    assert_eq!(slots, frozen_slots, "rebalance leaked slot inventory");
+    let ratio = with.goodput_rps / frozen.goodput_rps;
+    assert!(
+        (0.8..=1.25).contains(&ratio),
+        "rebalancing changed goodput by {ratio:.2}x"
+    );
+}
+
+#[test]
+fn admission_state_is_bounded_by_backlog_not_population() {
+    let report = IngestFrontEnd::new(mini_config()).run(&WorkerPool::sequential());
+    let held: u64 = report
+        .shard_reports
+        .iter()
+        .map(|s| s.active_tenant_state as u64)
+        .sum();
+    assert!(
+        held <= report.unfinished + u64::from(report.shards),
+        "admission state ({held}) outgrew the backlog ({})",
+        report.unfinished
+    );
+    assert!(
+        held < u64::from(report.tenants) / 10,
+        "state held ({held}) approaches population scale ({})",
+        report.tenants
+    );
+}
